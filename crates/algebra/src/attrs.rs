@@ -1,0 +1,200 @@
+//! Attribute-name inference.
+//!
+//! The paper's formal language addresses columns by position; real schemas
+//! have attribute names. This module infers the (possibly anonymous)
+//! output attribute names of every operator, so that the surface parser
+//! can resolve `salary >= 200` to `#1 >= 200` against the input of the
+//! enclosing `select`/`join`, and so the engine can print column headers.
+//!
+//! An output column is `None` (anonymous) when no unambiguous name exists:
+//! computed aggregates are named (`count`, `sum_1`, …); duplicated names
+//! after a product/join stay present (resolution then requires the
+//! *first* occurrence, or a positional reference).
+
+use hypoquery_storage::Catalog;
+
+use crate::query::{AggExpr, Query};
+use crate::typing::{arity_of, TypeError};
+
+/// The inferred output attribute names of a query, one entry per column
+/// (`None` = anonymous).
+pub fn attrs_of(q: &Query, catalog: &Catalog) -> Result<Vec<Option<String>>, TypeError> {
+    match q {
+        Query::Base(name) => {
+            let schema = catalog
+                .schema(name)
+                .ok_or_else(|| TypeError::UnknownRelation(name.clone()))?;
+            Ok(match &schema.attrs {
+                Some(attrs) => attrs.iter().cloned().map(Some).collect(),
+                None => vec![None; schema.arity],
+            })
+        }
+        Query::Singleton(t) => Ok(vec![None; t.arity()]),
+        Query::Empty { arity } => Ok(vec![None; *arity]),
+        Query::Select(inner, _) => attrs_of(inner, catalog),
+        Query::Project(inner, cols) => {
+            let input = attrs_of(inner, catalog)?;
+            cols.iter()
+                .map(|&c| {
+                    input
+                        .get(c)
+                        .cloned()
+                        .ok_or(TypeError::ColumnOutOfRange { col: c, arity: input.len() })
+                })
+                .collect()
+        }
+        Query::Union(a, b) | Query::Intersect(a, b) | Query::Diff(a, b) => {
+            // Take the left side's names where both sides agree or the
+            // right is anonymous.
+            let left = attrs_of(a, catalog)?;
+            let right = attrs_of(b, catalog)?;
+            if left.len() != right.len() {
+                // arity check will report properly
+                arity_of(q, catalog)?;
+            }
+            Ok(left
+                .into_iter()
+                .zip(right)
+                .map(|(l, r)| match (l, r) {
+                    (Some(l), Some(r)) if l == r => Some(l),
+                    (Some(l), None) => Some(l),
+                    (None, Some(r)) => Some(r),
+                    _ => None,
+                })
+                .collect())
+        }
+        Query::Product(a, b) | Query::Join(a, b, _) => {
+            let mut out = attrs_of(a, catalog)?;
+            out.extend(attrs_of(b, catalog)?);
+            Ok(out)
+        }
+        Query::When(inner, _) => attrs_of(inner, catalog),
+        Query::Aggregate { input, group_by, aggs } => {
+            let in_attrs = attrs_of(input, catalog)?;
+            let mut out: Vec<Option<String>> = group_by
+                .iter()
+                .map(|&c| in_attrs.get(c).cloned().flatten())
+                .collect();
+            for agg in aggs {
+                out.push(Some(agg_name(agg, &in_attrs)));
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn agg_name(agg: &AggExpr, input: &[Option<String>]) -> String {
+    let col_name = |c: usize| -> String {
+        input
+            .get(c)
+            .cloned()
+            .flatten()
+            .unwrap_or_else(|| c.to_string())
+    };
+    match agg {
+        AggExpr::Count => "count".to_string(),
+        AggExpr::Sum(c) => format!("sum_{}", col_name(*c)),
+        AggExpr::Min(c) => format!("min_{}", col_name(*c)),
+        AggExpr::Max(c) => format!("max_{}", col_name(*c)),
+    }
+}
+
+/// Resolve an attribute name to a column position within inferred
+/// attributes. Returns the **first** matching column.
+pub fn position_of(attrs: &[Option<String>], name: &str) -> Option<usize> {
+    attrs
+        .iter()
+        .position(|a| a.as_deref() == Some(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, Predicate};
+    use hypoquery_storage::RelSchema;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare("emp", RelSchema::named(["id", "salary"])).unwrap();
+        c.declare("dept", RelSchema::named(["emp_id", "dept_id"])).unwrap();
+        c.declare_arity("anon", 2).unwrap();
+        c
+    }
+
+    #[test]
+    fn base_and_positional() {
+        let c = catalog();
+        assert_eq!(
+            attrs_of(&Query::base("emp"), &c).unwrap(),
+            vec![Some("id".into()), Some("salary".into())]
+        );
+        assert_eq!(attrs_of(&Query::base("anon"), &c).unwrap(), vec![None, None]);
+        assert!(attrs_of(&Query::base("nope"), &c).is_err());
+    }
+
+    #[test]
+    fn select_preserves_project_picks() {
+        let c = catalog();
+        let q = Query::base("emp")
+            .select(Predicate::col_cmp(1, CmpOp::Gt, 0))
+            .project([1]);
+        assert_eq!(attrs_of(&q, &c).unwrap(), vec![Some("salary".into())]);
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let c = catalog();
+        let q = Query::base("emp").join(Query::base("dept"), Predicate::True);
+        assert_eq!(
+            attrs_of(&q, &c).unwrap(),
+            vec![
+                Some("id".into()),
+                Some("salary".into()),
+                Some("emp_id".into()),
+                Some("dept_id".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn union_merges_names() {
+        let c = catalog();
+        let q = Query::base("emp").union(Query::base("anon"));
+        assert_eq!(
+            attrs_of(&q, &c).unwrap(),
+            vec![Some("id".into()), Some("salary".into())]
+        );
+        let q = Query::base("emp").union(Query::base("dept"));
+        assert_eq!(attrs_of(&q, &c).unwrap(), vec![None, None]);
+    }
+
+    #[test]
+    fn aggregate_names() {
+        let c = catalog();
+        let q = Query::base("emp").aggregate([0], [AggExpr::Count, AggExpr::Sum(1)]);
+        assert_eq!(
+            attrs_of(&q, &c).unwrap(),
+            vec![Some("id".into()), Some("count".into()), Some("sum_salary".into())]
+        );
+    }
+
+    #[test]
+    fn when_is_transparent() {
+        let c = catalog();
+        let q = Query::base("emp").when(crate::state_expr::StateExpr::subst(
+            crate::state_expr::ExplicitSubst::empty(),
+        ));
+        assert_eq!(
+            attrs_of(&q, &c).unwrap(),
+            vec![Some("id".into()), Some("salary".into())]
+        );
+    }
+
+    #[test]
+    fn position_lookup_is_first_match() {
+        let attrs = vec![Some("a".into()), Some("b".into()), Some("a".into())];
+        assert_eq!(position_of(&attrs, "a"), Some(0));
+        assert_eq!(position_of(&attrs, "b"), Some(1));
+        assert_eq!(position_of(&attrs, "z"), None);
+    }
+}

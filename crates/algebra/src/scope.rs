@@ -1,0 +1,254 @@
+//! The scoping functions `free(·)` and `dom(·)` of Figure 2.
+//!
+//! `free(E)` is the set of relation names occurring free in `E`;
+//! `dom(E)` is the set of names *defined* by `E` (for hypothetical-state and
+//! update expressions). Together they articulate the scoping rules of
+//! `when`: in `Q when η`, occurrences in `Q` of names in `dom(η)` refer to
+//! the hypothetical state, not the underlying one — so
+//! `free(Q when η) = free(η) ∪ (free(Q) − dom(η))`.
+
+use std::collections::BTreeSet;
+
+use hypoquery_storage::RelName;
+
+use crate::query::Query;
+use crate::state_expr::{ExplicitSubst, StateExpr};
+use crate::update::Update;
+
+/// A set of relation names.
+pub type NameSet = BTreeSet<RelName>;
+
+/// `free(Q)` for a query (Fig. 2).
+pub fn free_query(q: &Query) -> NameSet {
+    let mut out = NameSet::new();
+    collect_free_query(q, &mut out);
+    out
+}
+
+fn collect_free_query(q: &Query, out: &mut NameSet) {
+    match q {
+        Query::Base(name) => {
+            out.insert(name.clone());
+        }
+        Query::Singleton(_) | Query::Empty { .. } => {}
+        Query::Select(q, _) | Query::Project(q, _) => collect_free_query(q, out),
+        Query::Union(a, b)
+        | Query::Intersect(a, b)
+        | Query::Product(a, b)
+        | Query::Join(a, b, _)
+        | Query::Diff(a, b) => {
+            collect_free_query(a, out);
+            collect_free_query(b, out);
+        }
+        Query::When(q, eta) => {
+            // free(Q when η) = free(η) ∪ (free(Q) − dom(η))
+            let mut inner = free_query(q);
+            for d in dom_state_expr(eta) {
+                inner.remove(&d);
+            }
+            out.extend(inner);
+            out.extend(free_state_expr(eta));
+        }
+        Query::Aggregate { input, .. } => collect_free_query(input, out),
+    }
+}
+
+/// `free(U)` for an update (Fig. 2, with one correction).
+///
+/// `ins(R, Q)` / `del(R, Q)` read `R` as well as `Q`'s names: their slice
+/// is `{(R ∪ Q)/R}` / `{(R − Q)/R}`, in which `R` occurs free. The
+/// conference text's figure prints `free(ins(R, Q)) = free(Q)`, but with
+/// that definition the *substitution-simplification* rule of Figure 1
+/// (`Q when ε ≡ Q when ε₋R if R ∉ free(Q)`) is unsound — a binding feeding
+/// the implicit read would be dropped (our property tests found the
+/// counterexample `(S − {t}) when {del(S, {t})}` under `{T/S}`). We
+/// therefore define `free` so that it commutes with
+/// *convert-to-explicit-substitutions*, which also matches the target
+/// occurring free in `slice(U)`.
+pub fn free_update(u: &Update) -> NameSet {
+    match u {
+        Update::Insert(r, q) | Update::Delete(r, q) => {
+            let mut out = free_query(q);
+            out.insert(r.clone());
+            out
+        }
+        Update::Seq(a, b) => {
+            // free((U₁;U₂)) = free(U₁) ∪ (free(U₂) − dom(U₁))
+            let mut out = free_update(a);
+            let doms = dom_update(a);
+            for n in free_update(b) {
+                if !doms.contains(&n) {
+                    out.insert(n);
+                }
+            }
+            out
+        }
+        Update::Cond { guard, then_u, else_u } => {
+            // Conservative: everything read by the guard or either branch.
+            let mut out = free_query(guard);
+            out.extend(free_update(then_u));
+            out.extend(free_update(else_u));
+            out
+        }
+    }
+}
+
+/// `dom(U)` for an update (Fig. 2).
+pub fn dom_update(u: &Update) -> NameSet {
+    match u {
+        Update::Insert(r, _) | Update::Delete(r, _) => [r.clone()].into_iter().collect(),
+        Update::Seq(a, b) => {
+            let mut out = dom_update(a);
+            out.extend(dom_update(b));
+            out
+        }
+        Update::Cond { then_u, else_u, .. } => {
+            let mut out = dom_update(then_u);
+            out.extend(dom_update(else_u));
+            out
+        }
+    }
+}
+
+/// `free(ε)` for an explicit substitution (Fig. 2):
+/// the union of the free names of all bound queries.
+pub fn free_subst(s: &ExplicitSubst) -> NameSet {
+    let mut out = NameSet::new();
+    for (_, q) in s.iter() {
+        out.extend(free_query(q));
+    }
+    out
+}
+
+/// `dom(ε)` for an explicit substitution: its bound names.
+pub fn dom_subst(s: &ExplicitSubst) -> NameSet {
+    s.names().cloned().collect()
+}
+
+/// `free(η)` for a hypothetical-state expression (Fig. 2).
+pub fn free_state_expr(eta: &StateExpr) -> NameSet {
+    match eta {
+        StateExpr::Update(u) => free_update(u),
+        StateExpr::Subst(s) => free_subst(s),
+        StateExpr::Compose(a, b) => {
+            // free(η₁#η₂) = free(η₁) ∪ (free(η₂) − dom(η₁))
+            let mut out = free_state_expr(a);
+            let doms = dom_state_expr(a);
+            for n in free_state_expr(b) {
+                if !doms.contains(&n) {
+                    out.insert(n);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// `dom(η)` for a hypothetical-state expression (Fig. 2).
+pub fn dom_state_expr(eta: &StateExpr) -> NameSet {
+    match eta {
+        StateExpr::Update(u) => dom_update(u),
+        StateExpr::Subst(s) => dom_subst(s),
+        StateExpr::Compose(a, b) => {
+            let mut out = dom_state_expr(a);
+            out.extend(dom_state_expr(b));
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, Predicate};
+
+    fn names(set: &NameSet) -> Vec<&str> {
+        set.iter().map(|n| n.as_str()).collect()
+    }
+
+    fn sel(q: Query) -> Query {
+        q.select(Predicate::col_cmp(0, CmpOp::Gt, 30))
+    }
+
+    #[test]
+    fn free_of_pure_query_is_all_names() {
+        let q = Query::base("R").join(sel(Query::base("S")), Predicate::True);
+        assert_eq!(names(&free_query(&q)), ["R", "S"]);
+        assert_eq!(names(&free_query(&Query::singleton(hypoquery_storage::tuple![1]))), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn dom_and_free_of_updates() {
+        // free(ins(R, Q)) = {R} ∪ free(Q): the insert reads R implicitly
+        // (its slice is (R ∪ Q)/R). See the free_update doc comment for
+        // why the conference text's `free(Q)` is corrected here.
+        let u = Update::insert("R", sel(Query::base("S")));
+        assert_eq!(names(&free_update(&u)), ["R", "S"]);
+        assert_eq!(names(&dom_update(&u)), ["R"]);
+
+        // free((U1;U2)) = free(U1) ∪ (free(U2) − dom(U1))
+        let seq = Update::insert("R", Query::base("S"))
+            .then(Update::delete("T", Query::base("R").union(Query::base("V"))));
+        // R is defined by U1, so its occurrence in U2 is not free; T's
+        // implicit read survives (T ∉ dom(U1)).
+        assert_eq!(names(&free_update(&seq)), ["R", "S", "T", "V"]);
+        assert_eq!(names(&dom_update(&seq)), ["R", "T"]);
+    }
+
+    #[test]
+    fn when_scoping_hides_defined_names() {
+        // free(Q when η) = free(η) ∪ (free(Q) − dom(η))
+        let eta = StateExpr::update(Update::insert("R", Query::base("S")));
+        let q = Query::base("R").union(Query::base("T")).when(eta);
+        // R is bound by η for Q's purposes but read by η itself; S is free
+        // via η; T is free via Q.
+        assert_eq!(names(&free_query(&q)), ["R", "S", "T"]);
+    }
+
+    #[test]
+    fn subst_scope() {
+        let s = ExplicitSubst::new([
+            ("R".into(), Query::base("S")),
+            ("T".into(), Query::base("R")),
+        ]);
+        assert_eq!(names(&dom_subst(&s)), ["R", "T"]);
+        // free is over the bound queries; both S and R occur there.
+        assert_eq!(names(&free_subst(&s)), ["R", "S"]);
+    }
+
+    #[test]
+    fn compose_scope() {
+        // η1 defines R reading S; η2 defines T reading R.
+        let e1 = StateExpr::update(Update::insert("R", Query::base("S")));
+        let e2 = StateExpr::update(Update::insert("T", Query::base("R")));
+        let c = e1.clone().compose(e2.clone());
+        assert_eq!(names(&dom_state_expr(&c)), ["R", "T"]);
+        // free(η1#η2) = {R,S} ∪ ({T,R} − {R}) = {R,S,T}
+        assert_eq!(names(&free_state_expr(&c)), ["R", "S", "T"]);
+        // Composed the other way, T is consumed by η2's own dom but R
+        // stays free in both readers.
+        let c2 = e2.compose(e1);
+        assert_eq!(names(&free_state_expr(&c2)), ["R", "S", "T"]);
+    }
+
+    #[test]
+    fn cond_update_scope_is_conservative() {
+        let u = Update::cond(
+            Query::base("G"),
+            Update::insert("R", Query::base("S")),
+            Update::delete("T", Query::base("T")),
+        );
+        assert_eq!(names(&dom_update(&u)), ["R", "T"]);
+        assert_eq!(names(&free_update(&u)), ["G", "R", "S", "T"]);
+    }
+
+    #[test]
+    fn nested_when_in_binding() {
+        // Substitution binding containing a when: free must respect the
+        // inner scope.
+        let inner = Query::base("R").when(StateExpr::update(Update::insert("R", Query::base("S"))));
+        let s = ExplicitSubst::single("T", inner);
+        // R is free through the inner update's implicit read.
+        assert_eq!(names(&free_subst(&s)), ["R", "S"]);
+    }
+}

@@ -1,0 +1,364 @@
+//! Arity typing for HQL expressions.
+//!
+//! §3.1: "We assume the usual typing rules concerning the arities of query
+//! expressions." This module makes those rules explicit and checkable
+//! against a [`Catalog`]. Every public evaluation/rewriting entry point in
+//! the workspace expects (and the engine enforces) well-typed inputs.
+
+use std::fmt;
+
+use hypoquery_storage::{Catalog, RelName};
+
+use crate::query::Query;
+use crate::state_expr::{ExplicitSubst, StateExpr};
+use crate::update::Update;
+
+/// A typing error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TypeError {
+    /// A relation name not declared in the catalog.
+    UnknownRelation(RelName),
+    /// Binary set operator applied to operands of different arities.
+    OperandArityMismatch {
+        /// Which operator.
+        op: &'static str,
+        /// Left operand arity.
+        left: usize,
+        /// Right operand arity.
+        right: usize,
+    },
+    /// A predicate references a column outside the input arity.
+    PredicateOutOfRange {
+        /// Highest column referenced.
+        col: usize,
+        /// Input arity.
+        arity: usize,
+    },
+    /// A projection or aggregate references a column outside the input
+    /// arity.
+    ColumnOutOfRange {
+        /// The offending column.
+        col: usize,
+        /// Input arity.
+        arity: usize,
+    },
+    /// A substitution binding `Q/R` where `arity(Q) ≠ arity(R)`.
+    BindingArityMismatch {
+        /// Bound relation name.
+        name: RelName,
+        /// Declared arity of the name.
+        expected: usize,
+        /// Arity of the bound query.
+        found: usize,
+    },
+    /// An update `ins(R, Q)`/`del(R, Q)` where `arity(Q) ≠ arity(R)`.
+    UpdateArityMismatch {
+        /// Target relation name.
+        name: RelName,
+        /// Declared arity of the target.
+        expected: usize,
+        /// Arity of the update's query.
+        found: usize,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownRelation(n) => write!(f, "unknown relation {n}"),
+            TypeError::OperandArityMismatch { op, left, right } => {
+                write!(f, "{op}: operand arities differ ({left} vs {right})")
+            }
+            TypeError::PredicateOutOfRange { col, arity } => {
+                write!(f, "predicate references column {col} but input arity is {arity}")
+            }
+            TypeError::ColumnOutOfRange { col, arity } => {
+                write!(f, "column {col} out of range for arity {arity}")
+            }
+            TypeError::BindingArityMismatch { name, expected, found } => {
+                write!(f, "binding for {name}: expected arity {expected}, query has arity {found}")
+            }
+            TypeError::UpdateArityMismatch { name, expected, found } => {
+                write!(f, "update on {name}: expected arity {expected}, query has arity {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Compute and check the arity of a query against a catalog.
+pub fn arity_of(q: &Query, catalog: &Catalog) -> Result<usize, TypeError> {
+    match q {
+        Query::Base(name) => catalog
+            .arity(name)
+            .map_err(|_| TypeError::UnknownRelation(name.clone())),
+        Query::Singleton(t) => Ok(t.arity()),
+        Query::Empty { arity } => Ok(*arity),
+        Query::Select(inner, p) => {
+            let a = arity_of(inner, catalog)?;
+            check_predicate(p, a)?;
+            Ok(a)
+        }
+        Query::Project(inner, cols) => {
+            let a = arity_of(inner, catalog)?;
+            for &c in cols {
+                if c >= a {
+                    return Err(TypeError::ColumnOutOfRange { col: c, arity: a });
+                }
+            }
+            Ok(cols.len())
+        }
+        Query::Union(l, r) => same_arity("union", l, r, catalog),
+        Query::Intersect(l, r) => same_arity("intersection", l, r, catalog),
+        Query::Diff(l, r) => same_arity("difference", l, r, catalog),
+        Query::Product(l, r) => {
+            Ok(arity_of(l, catalog)? + arity_of(r, catalog)?)
+        }
+        Query::Join(l, r, p) => {
+            let a = arity_of(l, catalog)? + arity_of(r, catalog)?;
+            check_predicate(p, a)?;
+            Ok(a)
+        }
+        Query::When(inner, eta) => {
+            check_state_expr(eta, catalog)?;
+            arity_of(inner, catalog)
+        }
+        Query::Aggregate { input, group_by, aggs } => {
+            let a = arity_of(input, catalog)?;
+            for &c in group_by {
+                if c >= a {
+                    return Err(TypeError::ColumnOutOfRange { col: c, arity: a });
+                }
+            }
+            for agg in aggs {
+                if let Some(c) = agg.col() {
+                    if c >= a {
+                        return Err(TypeError::ColumnOutOfRange { col: c, arity: a });
+                    }
+                }
+            }
+            Ok(group_by.len() + aggs.len())
+        }
+    }
+}
+
+fn same_arity(
+    op: &'static str,
+    l: &Query,
+    r: &Query,
+    catalog: &Catalog,
+) -> Result<usize, TypeError> {
+    let la = arity_of(l, catalog)?;
+    let ra = arity_of(r, catalog)?;
+    if la != ra {
+        return Err(TypeError::OperandArityMismatch { op, left: la, right: ra });
+    }
+    Ok(la)
+}
+
+fn check_predicate(p: &crate::predicate::Predicate, arity: usize) -> Result<(), TypeError> {
+    match p.max_col() {
+        Some(c) if c >= arity => Err(TypeError::PredicateOutOfRange { col: c, arity }),
+        _ => Ok(()),
+    }
+}
+
+/// Check an update expression against a catalog.
+pub fn check_update(u: &Update, catalog: &Catalog) -> Result<(), TypeError> {
+    match u {
+        Update::Insert(name, q) | Update::Delete(name, q) => {
+            let expected = catalog
+                .arity(name)
+                .map_err(|_| TypeError::UnknownRelation(name.clone()))?;
+            let found = arity_of(q, catalog)?;
+            if found != expected {
+                return Err(TypeError::UpdateArityMismatch {
+                    name: name.clone(),
+                    expected,
+                    found,
+                });
+            }
+            Ok(())
+        }
+        Update::Seq(a, b) => {
+            check_update(a, catalog)?;
+            check_update(b, catalog)
+        }
+        Update::Cond { guard, then_u, else_u } => {
+            arity_of(guard, catalog)?;
+            check_update(then_u, catalog)?;
+            check_update(else_u, catalog)
+        }
+    }
+}
+
+/// Check an explicit substitution: every binding `Q/R` must have
+/// `arity(Q) = arity(R)` (§3.2's well-formedness condition on
+/// substitutions).
+pub fn check_subst(s: &ExplicitSubst, catalog: &Catalog) -> Result<(), TypeError> {
+    for (name, q) in s.iter() {
+        let expected = catalog
+            .arity(name)
+            .map_err(|_| TypeError::UnknownRelation(name.clone()))?;
+        let found = arity_of(q, catalog)?;
+        if found != expected {
+            return Err(TypeError::BindingArityMismatch {
+                name: name.clone(),
+                expected,
+                found,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Check a hypothetical-state expression against a catalog.
+pub fn check_state_expr(eta: &StateExpr, catalog: &Catalog) -> Result<(), TypeError> {
+    match eta {
+        StateExpr::Update(u) => check_update(u, catalog),
+        StateExpr::Subst(s) => check_subst(s, catalog),
+        StateExpr::Compose(a, b) => {
+            check_state_expr(a, catalog)?;
+            check_state_expr(b, catalog)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, Predicate};
+    use crate::query::AggExpr;
+    use hypoquery_storage::tuple;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare_arity("R", 2).unwrap();
+        c.declare_arity("S", 2).unwrap();
+        c.declare_arity("T", 1).unwrap();
+        c
+    }
+
+    #[test]
+    fn base_and_singleton() {
+        let c = cat();
+        assert_eq!(arity_of(&Query::base("R"), &c), Ok(2));
+        assert_eq!(arity_of(&Query::singleton(tuple![1, 2, 3]), &c), Ok(3));
+        assert_eq!(arity_of(&Query::empty(4), &c), Ok(4));
+        assert_eq!(
+            arity_of(&Query::base("Z"), &c),
+            Err(TypeError::UnknownRelation("Z".into()))
+        );
+    }
+
+    #[test]
+    fn select_checks_predicate_range() {
+        let c = cat();
+        let ok = Query::base("R").select(Predicate::col_cmp(1, CmpOp::Gt, 0));
+        assert_eq!(arity_of(&ok, &c), Ok(2));
+        let bad = Query::base("R").select(Predicate::col_cmp(2, CmpOp::Gt, 0));
+        assert_eq!(
+            arity_of(&bad, &c),
+            Err(TypeError::PredicateOutOfRange { col: 2, arity: 2 })
+        );
+    }
+
+    #[test]
+    fn project_checks_columns() {
+        let c = cat();
+        assert_eq!(arity_of(&Query::base("R").project([1, 1, 0]), &c), Ok(3));
+        assert_eq!(
+            arity_of(&Query::base("R").project([2]), &c),
+            Err(TypeError::ColumnOutOfRange { col: 2, arity: 2 })
+        );
+    }
+
+    #[test]
+    fn set_ops_require_same_arity() {
+        let c = cat();
+        assert_eq!(arity_of(&Query::base("R").union(Query::base("S")), &c), Ok(2));
+        assert!(matches!(
+            arity_of(&Query::base("R").union(Query::base("T")), &c),
+            Err(TypeError::OperandArityMismatch { op: "union", left: 2, right: 1 })
+        ));
+    }
+
+    #[test]
+    fn product_and_join_sum_arity() {
+        let c = cat();
+        assert_eq!(arity_of(&Query::base("R").product(Query::base("T")), &c), Ok(3));
+        let j = Query::base("R").join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2));
+        assert_eq!(arity_of(&j, &c), Ok(4));
+        let bad = Query::base("R").join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 4));
+        assert!(matches!(arity_of(&bad, &c), Err(TypeError::PredicateOutOfRange { .. })));
+    }
+
+    #[test]
+    fn when_checks_state_expr_and_keeps_arity() {
+        let c = cat();
+        let eta = StateExpr::update(Update::insert("R", Query::base("S")));
+        assert_eq!(arity_of(&Query::base("R").when(eta), &c), Ok(2));
+        let bad_eta = StateExpr::update(Update::insert("R", Query::base("T")));
+        assert!(matches!(
+            arity_of(&Query::base("R").when(bad_eta), &c),
+            Err(TypeError::UpdateArityMismatch { expected: 2, found: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn subst_bindings_checked() {
+        let c = cat();
+        let ok = ExplicitSubst::single("R", Query::base("S"));
+        assert!(check_subst(&ok, &c).is_ok());
+        let bad = ExplicitSubst::single("R", Query::base("T"));
+        assert!(matches!(
+            check_subst(&bad, &c),
+            Err(TypeError::BindingArityMismatch { expected: 2, found: 1, .. })
+        ));
+        let unknown = ExplicitSubst::single("Z", Query::base("T"));
+        assert!(matches!(check_subst(&unknown, &c), Err(TypeError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn aggregate_typing() {
+        let c = cat();
+        let a = Query::base("R").aggregate([0], [AggExpr::Count, AggExpr::Sum(1)]);
+        assert_eq!(arity_of(&a, &c), Ok(3));
+        let bad = Query::base("R").aggregate([0], [AggExpr::Sum(9)]);
+        assert!(matches!(arity_of(&bad, &c), Err(TypeError::ColumnOutOfRange { col: 9, .. })));
+        let bad_group = Query::base("R").aggregate([5], [AggExpr::Count]);
+        assert!(matches!(arity_of(&bad_group, &c), Err(TypeError::ColumnOutOfRange { col: 5, .. })));
+    }
+
+    #[test]
+    fn cond_update_checked() {
+        let c = cat();
+        let ok = Update::cond(
+            Query::base("T"),
+            Update::insert("R", Query::base("S")),
+            Update::delete("R", Query::base("R")),
+        );
+        assert!(check_update(&ok, &c).is_ok());
+        let bad = Update::cond(
+            Query::base("T"),
+            Update::insert("R", Query::base("T")),
+            Update::delete("R", Query::base("R")),
+        );
+        assert!(check_update(&bad, &c).is_err());
+    }
+
+    #[test]
+    fn compose_checked() {
+        let c = cat();
+        let e = StateExpr::update(Update::insert("R", Query::base("S")))
+            .compose(StateExpr::subst(ExplicitSubst::single("T", Query::empty(1))));
+        assert!(check_state_expr(&e, &c).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TypeError::OperandArityMismatch { op: "union", left: 1, right: 2 };
+        assert_eq!(e.to_string(), "union: operand arities differ (1 vs 2)");
+    }
+}

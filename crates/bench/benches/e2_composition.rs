@@ -1,0 +1,73 @@
+//! E2 — Example 2.2: composing substitutions amortizes over a family of
+//! queries against the same hypothetical state.
+//!
+//! Claim reproduced: answering k queries by (a) re-deriving and
+//! re-materializing the hypothetical state per query costs ~k× the
+//! materialization, while (b) computing the composed substitution once and
+//! reusing its xsub-value makes the per-query cost approach plain query
+//! evaluation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hypoquery_bench::workload::{e2_family, e2_state, two_table_db};
+use hypoquery_core::{lazy_state, sub_query, to_enf_query, RewriteTrace};
+use hypoquery_eval::{algorithm_hql2, eval_pure, filter1, materialize_subst, XsubValue};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_composition");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let db = two_table_db(20_000, 20_000, 100, 2);
+    let eta = e2_state(30, 60);
+
+    for &k in &[1usize, 4, 16, 64] {
+        let family = e2_family(k);
+
+        // (a) Naive: every family member re-normalizes and re-materializes
+        // the hypothetical state from scratch.
+        g.bench_with_input(BenchmarkId::new("naive_per_query", k), &k, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &family {
+                    let hq = q.clone().when(eta.clone());
+                    let enf = to_enf_query(&hq, &mut RewriteTrace::new());
+                    total += algorithm_hql2(&enf, &db).unwrap().len();
+                }
+                total
+            })
+        });
+
+        // (b) Composed once, materialized once, reused k times (the
+        // eager reading of Example 2.2(a)).
+        g.bench_with_input(BenchmarkId::new("compose_once_eager", k), &k, |b, _| {
+            b.iter(|| {
+                let rho = lazy_state(&eta, &mut RewriteTrace::new());
+                let e: XsubValue = materialize_subst(&rho, &db).unwrap();
+                let mut total = 0usize;
+                for q in &family {
+                    total += filter1(q, &e, &db).unwrap().len();
+                }
+                total
+            })
+        });
+
+        // (c) Composed once, applied lazily per query (the lazy reading:
+        // "the new substitution can be applied to each of the queries").
+        g.bench_with_input(BenchmarkId::new("compose_once_lazy", k), &k, |b, _| {
+            b.iter(|| {
+                let rho = lazy_state(&eta, &mut RewriteTrace::new());
+                let mut total = 0usize;
+                for q in &family {
+                    let substituted = sub_query(q, &rho).unwrap();
+                    total += eval_pure(&substituted, &db).unwrap().len();
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E4 — Example 2.4: the exponential blow-up of fully lazy evaluation,
+//! the algebraic-rewriting rescue, and the case where eager wins.
+//!
+//! Claims reproduced:
+//! * (a) the fully lazy equivalent of the depth-n query has ~2ⁿ nodes
+//!   while the query itself is linear in n (measured as rewrite time and
+//!   asserted on node counts in `workload` tests);
+//! * (b) interleaving RA simplification with reduction collapses the
+//!   query to `∅` cheaply when a level is empty;
+//! * (c) when the Eᵢ values are small, eager evaluation beats lazy
+//!   rewriting even though the lazy *query* is huge.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hypoquery_bench::workload::{e4_db, e4_query};
+use hypoquery_core::{red_query, to_enf_query, RewriteTrace};
+use hypoquery_eval::algorithm_hql1;
+use hypoquery_opt::reduce_optimized;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_blowup");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for &n in &[6usize, 10, 14] {
+        // (a) Plain lazy reduction: exponential output, exponential time.
+        let (q, _) = e4_query(n, None);
+        g.bench_with_input(BenchmarkId::new("lazy_red_products", n), &n, |b, _| {
+            b.iter(|| red_query(&q).unwrap().node_count())
+        });
+
+        // (b) Rescue: the empty level short-circuits interleaved
+        // reduction+simplification (empty at the innermost level).
+        let (q_rescue, catalog) = e4_query(n, Some(1));
+        g.bench_with_input(BenchmarkId::new("rewriting_rescue", n), &n, |b, _| {
+            b.iter(|| reduce_optimized(&q_rescue, &catalog).0.node_count())
+        });
+    }
+
+    // (c) Eager evaluation on small data: each Eᵢ is tiny, so Algorithm
+    // HQL-1 materializes small xsub-values level by level while lazy
+    // reduction still pays the 2ⁿ rewrite.
+    for &n in &[6usize, 10] {
+        let (q, catalog) = e4_query(n, None);
+        let db = e4_db(&catalog, 1);
+        let enf = to_enf_query(&q, &mut RewriteTrace::new());
+        g.bench_with_input(BenchmarkId::new("eager_small_values", n), &n, |b, _| {
+            b.iter(|| algorithm_hql1(&enf, &db).unwrap().len())
+        });
+        g.bench_with_input(BenchmarkId::new("lazy_then_eval", n), &n, |b, _| {
+            b.iter(|| {
+                let reduced = red_query(&q).unwrap();
+                hypoquery_eval::eval_pure(&reduced, &db).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

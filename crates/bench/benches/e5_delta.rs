@@ -1,0 +1,69 @@
+//! E5 — §5.5: delta values and `join-when`.
+//!
+//! Claims reproduced:
+//! * evaluating `(R ⋈ S) when {U}` with deltas (Algorithm HQL-3 /
+//!   `join-when`) costs only nominally more than the plain join when the
+//!   update touches a small fraction of the data (the paper's
+//!   rule-of-thumb: a delta of x% of the base adds roughly proportional
+//!   overhead — ~22% at 2% in Heraclitus's sort-merge; our hash pipeline
+//!   has the same shape);
+//! * the full-materialization strategy (HQL-2 / xsub-values) pays the
+//!   whole hypothetical-relation cost regardless of delta size, so HQL-3
+//!   wins for small deltas and the gap narrows as the delta grows.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hypoquery_algebra::StateExpr;
+use hypoquery_bench::workload::{e5_update, rs_join, two_table_db};
+use hypoquery_core::{to_enf_query, to_mod_enf, RewriteTrace};
+use hypoquery_eval::{algorithm_hql2, algorithm_hql3, eval_pure};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_delta");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 50_000usize;
+    let db = two_table_db(n, n, (n as i64) * 10, 4);
+    let join = rs_join();
+
+    // Baseline: the plain join, no hypothetical state at all.
+    g.bench_function("plain_join_baseline", |b| {
+        b.iter(|| eval_pure(&join, &db).unwrap().len())
+    });
+
+    for &pct in &[0.5f64, 2.0, 10.0, 25.0, 50.0] {
+        let frac = pct / 100.0;
+        let u = e5_update(&db, frac);
+        let q = join.clone().when(StateExpr::update(u.clone()));
+        let modq = to_mod_enf(&q).unwrap();
+        let enfq = to_enf_query(&q, &mut RewriteTrace::new());
+        let label = format!("{pct}");
+
+        // The operator the paper's rule-of-thumb times: join-when with
+        // the delta already built.
+        let delta = hypoquery_eval::filter3::filter3_update(
+            &hypoquery_core::red_update(&u).unwrap(),
+            &hypoquery_eval::DeltaValue::empty(),
+            &db,
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("join_when_only", &label), &pct, |b, _| {
+            b.iter(|| hypoquery_eval::eval_filter_d(&join, &delta, &db).unwrap().len())
+        });
+
+        // Delta-based end-to-end: delta construction + join-when.
+        g.bench_with_input(BenchmarkId::new("hql3_join_when", &label), &pct, |b, _| {
+            b.iter(|| algorithm_hql3(&modq, &db).unwrap().len())
+        });
+
+        // Full materialization of both hypothetical relations.
+        g.bench_with_input(BenchmarkId::new("hql2_xsub", &label), &pct, |b, _| {
+            b.iter(|| algorithm_hql2(&enfq, &db).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

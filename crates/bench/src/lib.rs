@@ -1,0 +1,15 @@
+//! # hypoquery-bench
+//!
+//! Benchmark harness reproducing every quantitative claim of
+//! Griffin & Hull (SIGMOD 1997). The paper is an extended abstract with no
+//! measured tables; each bench regenerates a *claim* from the examples or
+//! §5.5 — see DESIGN.md §5 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured results.
+//!
+//! Run `cargo bench -p hypoquery-bench` for the Criterion suite, or
+//! `cargo run --release -p hypoquery-bench --bin report` for the summary
+//! tables recorded in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod workload;

@@ -1,0 +1,186 @@
+//! The reduction function `red` of §4.3 — the fully *lazy* strategy.
+//!
+//! `red` maps any HQL query to an equivalent pure relational-algebra query,
+//! and any hypothetical-state expression to an equivalent abstract
+//! substitution:
+//!
+//! ```text
+//! red({…, Qⱼ/Sⱼ, …}) = {…, red(Qⱼ)/Sⱼ, …}
+//! red({U})           = slice(U)
+//! red(η₁ # η₂)       = red(η₁) # red(η₂)
+//!
+//! red(R)             = R
+//! red({t})           = {t}
+//! red(u-op(Q))       = u-op(red(Q))
+//! red(Q₁ b-op Q₂)    = red(Q₁) b-op red(Q₂)
+//! red(Q when η)      = sub(red(Q), red(η))
+//! ```
+//!
+//! Theorem 4.1: `red(Q)` is pure, `[[Q]] = [[red(Q)]]`, and
+//! `[[η]](DB) = apply(DB, red(η))` — verified by property tests in
+//! `hypoquery-eval`.
+
+use hypoquery_algebra::{ExplicitSubst, Query, StateExpr, Update};
+
+use crate::subst::{compose_pure, slice, sub_query, SubstError};
+
+/// `red(Q)`: reduce an HQL query to an equivalent pure RA query.
+pub fn red_query(q: &Query) -> Result<Query, SubstError> {
+    match q {
+        Query::Base(_) | Query::Singleton(_) | Query::Empty { .. } => Ok(q.clone()),
+        Query::Select(inner, p) => Ok(red_query(inner)?.select(p.clone())),
+        Query::Project(inner, cols) => Ok(red_query(inner)?.project(cols.clone())),
+        Query::Union(a, b) => Ok(red_query(a)?.union(red_query(b)?)),
+        Query::Intersect(a, b) => Ok(red_query(a)?.intersect(red_query(b)?)),
+        Query::Product(a, b) => Ok(red_query(a)?.product(red_query(b)?)),
+        Query::Join(a, b, p) => Ok(red_query(a)?.join(red_query(b)?, p.clone())),
+        Query::Diff(a, b) => Ok(red_query(a)?.diff(red_query(b)?)),
+        Query::When(inner, eta) => {
+            let reduced = red_query(inner)?;
+            let rho = red_state(eta)?;
+            sub_query(&reduced, &rho)
+        }
+        Query::Aggregate { input, group_by, aggs } => {
+            Ok(red_query(input)?.aggregate(group_by.clone(), aggs.clone()))
+        }
+    }
+}
+
+/// `red(η)`: reduce a hypothetical-state expression to an equivalent
+/// abstract substitution (all bindings pure).
+pub fn red_state(eta: &StateExpr) -> Result<ExplicitSubst, SubstError> {
+    match eta {
+        StateExpr::Update(u) => slice(&red_update(u)?),
+        StateExpr::Subst(s) => {
+            let mut out = ExplicitSubst::empty();
+            for (name, q) in s.iter() {
+                out.bind(name.clone(), red_query(q)?);
+            }
+            Ok(out)
+        }
+        StateExpr::Compose(a, b) => compose_pure(&red_state(a)?, &red_state(b)?),
+    }
+}
+
+/// Reduce every query inside an update, yielding an update whose queries
+/// are pure (so that `slice` applies).
+pub fn red_update(u: &Update) -> Result<Update, SubstError> {
+    match u {
+        Update::Insert(r, q) => Ok(Update::Insert(r.clone(), red_query(q)?)),
+        Update::Delete(r, q) => Ok(Update::Delete(r.clone(), red_query(q)?)),
+        Update::Seq(a, b) => Ok(red_update(a)?.then(red_update(b)?)),
+        Update::Cond { guard, then_u, else_u } => Ok(Update::cond(
+            red_query(guard)?,
+            red_update(then_u)?,
+            red_update(else_u)?,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypoquery_algebra::{CmpOp, Predicate};
+
+    fn sel(col: usize, op: CmpOp, v: i64, q: Query) -> Query {
+        q.select(Predicate::col_cmp(col, op, v))
+    }
+
+    /// Example 2.1(b), inner step: reducing
+    /// `((R ⋈ S) when {ins(R, σ_{A>30}(S))}) when {del(S, σ_{A<60}(S))}`
+    /// yields
+    /// `(R ∪ σ_{A>30}(S − σ_{A<60}(S))) ⋈ (S − σ_{A<60}(S))`.
+    #[test]
+    fn example_2_1b_reduction_shape() {
+        let join = |a: Query, b: Query| a.join(b, Predicate::col_col(0, CmpOp::Eq, 1));
+        let ins = Update::insert("R", sel(0, CmpOp::Gt, 30, Query::base("S")));
+        let del = Update::delete("S", sel(0, CmpOp::Lt, 60, Query::base("S")));
+        let q = join(Query::base("R"), Query::base("S"))
+            .when(StateExpr::update(ins))
+            .when(StateExpr::update(del));
+
+        let s_minus = Query::base("S").diff(sel(0, CmpOp::Lt, 60, Query::base("S")));
+        let expected = join(
+            Query::base("R").union(sel(0, CmpOp::Gt, 30, s_minus.clone())),
+            s_minus,
+        );
+        assert_eq!(red_query(&q).unwrap(), expected);
+    }
+
+    /// Theorem 4.1 (syntactic half): red always yields a pure query.
+    #[test]
+    fn red_output_is_pure() {
+        let eta1 = StateExpr::update(Update::insert("R", Query::base("S")));
+        let eta2 = StateExpr::subst(ExplicitSubst::single(
+            "S",
+            Query::base("S").when(eta1.clone()),
+        ));
+        let q = Query::base("R")
+            .union(Query::base("S"))
+            .when(eta1.clone().compose(eta2));
+        let r = red_query(&q).unwrap();
+        assert!(r.is_pure());
+    }
+
+    /// Example 3.11: with U from Ex. 3.8 and Q = π(S) ⋈ V,
+    /// red(Q when {U}) = π(S − σp(R ∪ Q₁)) ⋈ V.
+    #[test]
+    fn example_3_11() {
+        let sigma_p = |q: Query| sel(0, CmpOp::Gt, 0, q);
+        let u = Update::insert("R", Query::base("Q1"))
+            .then(Update::delete("S", sigma_p(Query::base("R"))));
+        let q = Query::base("S")
+            .project([0])
+            .join(Query::base("V"), Predicate::True);
+        let reduced = red_query(&q.when(StateExpr::update(u))).unwrap();
+        let expected = Query::base("S")
+            .diff(sigma_p(Query::base("R").union(Query::base("Q1"))))
+            .project([0])
+            .join(Query::base("V"), Predicate::True);
+        assert_eq!(reduced, expected);
+    }
+
+    /// red of a composition composes the slices (Ex. 2.2(a) shape):
+    /// {ins(R, σ_{A>30}(S))} # {del(S, σ_{A<60}(S))} reduces to
+    /// {(R ∪ σ_{A>30}(S))/R, (S − σ_{A<60}(S))/S} — note the *insert* sees
+    /// the original S because the insert happens first.
+    #[test]
+    fn example_2_2a_composition() {
+        let e1 = StateExpr::update(Update::insert("R", sel(0, CmpOp::Gt, 30, Query::base("S"))));
+        let e2 = StateExpr::update(Update::delete("S", sel(0, CmpOp::Lt, 60, Query::base("S"))));
+        let rho = red_state(&e1.compose(e2)).unwrap();
+        assert_eq!(
+            rho.get(&"R".into()),
+            Some(&Query::base("R").union(sel(0, CmpOp::Gt, 30, Query::base("S"))))
+        );
+        assert_eq!(
+            rho.get(&"S".into()),
+            Some(&Query::base("S").diff(sel(0, CmpOp::Lt, 60, Query::base("S"))))
+        );
+    }
+
+    /// Nested when inside a substitution binding reduces away.
+    #[test]
+    fn nested_when_in_binding_reduces() {
+        let inner = Query::base("R").when(StateExpr::update(Update::insert(
+            "R",
+            Query::base("T"),
+        )));
+        let eta = StateExpr::subst(ExplicitSubst::single("S", inner));
+        let rho = red_state(&eta).unwrap();
+        assert_eq!(
+            rho.get(&"S".into()),
+            Some(&Query::base("R").union(Query::base("T")))
+        );
+    }
+
+    /// red is the identity on pure queries.
+    #[test]
+    fn red_identity_on_pure() {
+        let q = Query::base("R")
+            .intersect(Query::base("S"))
+            .product(Query::singleton(hypoquery_storage::tuple![1]))
+            .aggregate([0], [hypoquery_algebra::AggExpr::Count]);
+        assert_eq!(red_query(&q).unwrap(), q);
+    }
+}

@@ -1,0 +1,510 @@
+//! The `Database` facade: schema definition, data loading, real updates,
+//! hypothetical queries with selectable evaluation strategy, integrity
+//! constraints, and `EXPLAIN`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hypoquery_storage::{Catalog, DatabaseState, RelName, Relation, RelSchema, Tuple};
+
+use hypoquery_algebra::typing::{arity_of, check_update};
+use hypoquery_algebra::{Query, Update};
+use hypoquery_core::{fully_lazy, to_enf_query, to_mod_enf, RewriteTrace};
+use hypoquery_eval::{
+    algorithm_hql1, algorithm_hql2, algorithm_hql3, eval_pure, eval_update,
+};
+use hypoquery_opt::{optimize, plan, Plan, PlannedStrategy, Statistics};
+use hypoquery_parser::{parse_query_named, parse_update_named};
+
+use crate::error::EngineError;
+
+/// How a hypothetical query should be evaluated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Let the planner choose (cost-based over lazy / eager / delta /
+    /// hybrid — the paper's full spectrum).
+    #[default]
+    Auto,
+    /// Fully lazy: reduce to pure RA, optimize, evaluate conventionally.
+    Lazy,
+    /// Eager, node-at-a-time: Algorithm HQL-1.
+    Hql1,
+    /// Eager, clustered: Algorithm HQL-2.
+    Hql2,
+    /// Eager with delta values: Algorithm HQL-3 (requires a mod-ENF form).
+    Delta,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::Auto => "auto",
+            Strategy::Lazy => "lazy",
+            Strategy::Hql1 => "hql1",
+            Strategy::Hql2 => "hql2",
+            Strategy::Delta => "delta",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An integrity constraint: a query that must evaluate to the empty
+/// relation in every committed state.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// The violation query (non-empty result = violation).
+    pub violation_query: Query,
+}
+
+/// The main entry point: a catalog, a current state, integrity
+/// constraints, and query/update execution across the eager↔lazy spectrum.
+#[derive(Clone, Debug)]
+pub struct Database {
+    state: DatabaseState,
+    constraints: BTreeMap<String, Constraint>,
+}
+
+impl Database {
+    /// An empty database with an empty catalog.
+    pub fn new() -> Self {
+        Database { state: DatabaseState::new(Catalog::new()), constraints: BTreeMap::new() }
+    }
+
+    /// Create over an existing catalog.
+    pub fn with_catalog(catalog: Catalog) -> Self {
+        Database { state: DatabaseState::new(catalog), constraints: BTreeMap::new() }
+    }
+
+    /// Declare a relation with positional columns.
+    pub fn define(&mut self, name: &str, arity: usize) -> Result<(), EngineError> {
+        self.define_schema(name, RelSchema::positional(arity))
+    }
+
+    /// Declare a relation with named columns; queries can then reference
+    /// them by name (`select salary >= 200 (emp)`).
+    pub fn define_named(
+        &mut self,
+        name: &str,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<(), EngineError> {
+        self.define_schema(name, RelSchema::named(attrs))
+    }
+
+    fn define_schema(&mut self, name: &str, schema: RelSchema) -> Result<(), EngineError> {
+        if hypoquery_parser::is_keyword(name) {
+            return Err(EngineError::DuplicateName(format!(
+                "{name} (reserved keyword)"
+            )));
+        }
+        let mut catalog = self.state.catalog().clone();
+        catalog.declare(name, schema)?;
+        // Rebuild state over the extended catalog, keeping data.
+        let mut next = DatabaseState::new(catalog);
+        for (n, rel) in self.state.iter() {
+            next.set(n.clone(), rel.clone())?;
+        }
+        self.state = next;
+        Ok(())
+    }
+
+    /// The current catalog.
+    pub fn catalog(&self) -> &Catalog {
+        self.state.catalog()
+    }
+
+    /// The current state (read-only).
+    pub fn state(&self) -> &DatabaseState {
+        &self.state
+    }
+
+    /// Bulk-load rows into a relation.
+    pub fn load(
+        &mut self,
+        name: &str,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<(), EngineError> {
+        self.state.insert_rows(RelName::new(name), rows)?;
+        Ok(())
+    }
+
+    /// Register an integrity constraint: `violation_query` must stay empty.
+    pub fn add_constraint(
+        &mut self,
+        name: &str,
+        violation_query: &str,
+    ) -> Result<(), EngineError> {
+        if self.constraints.contains_key(name) {
+            return Err(EngineError::DuplicateName(name.to_string()));
+        }
+        let q = parse_query_named(violation_query, self.state.catalog())?;
+        arity_of(&q, self.state.catalog())?;
+        self.constraints.insert(name.to_string(), Constraint { violation_query: q });
+        Ok(())
+    }
+
+    /// Parse and type-check a query without running it. Named column
+    /// references are resolved against the catalog's attribute names.
+    pub fn prepare(&self, src: &str) -> Result<Query, EngineError> {
+        let q = parse_query_named(src, self.state.catalog())?;
+        arity_of(&q, self.state.catalog())?;
+        Ok(q)
+    }
+
+    /// Parse and type-check an update without running it.
+    pub fn prepare_update(&self, src: &str) -> Result<Update, EngineError> {
+        let u = parse_update_named(src, self.state.catalog())?;
+        check_update(&u, self.state.catalog())?;
+        Ok(u)
+    }
+
+    /// The inferred output column names of a query (None = anonymous).
+    pub fn output_attrs(&self, q: &Query) -> Result<Vec<Option<String>>, EngineError> {
+        Ok(hypoquery_algebra::attrs_of(q, self.state.catalog())?)
+    }
+
+    /// Run a query and render the result as an aligned text table with
+    /// inferred column headers.
+    pub fn query_table(&self, src: &str) -> Result<String, EngineError> {
+        let q = self.prepare(src)?;
+        let attrs = self.output_attrs(&q)?;
+        let rel = self.execute(&q, Strategy::Auto)?;
+        let headers: Vec<String> = attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| a.clone().unwrap_or_else(|| format!("#{i}")))
+            .collect();
+        let mut rows: Vec<Vec<String>> = vec![headers];
+        for t in rel.iter() {
+            rows.push(t.fields().iter().map(|v| v.to_string()).collect());
+        }
+        let ncols = rows[0].len();
+        let mut widths = vec![0usize; ncols];
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (ri, row) in rows.iter().enumerate() {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{cell:<w$}", w = widths[i]));
+            }
+            out.push('\n');
+            if ri == 0 {
+                for (i, w) in widths.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str("  ");
+                    }
+                    out.push_str(&"-".repeat(*w));
+                }
+                out.push('\n');
+            }
+        }
+        Ok(out)
+    }
+
+    /// Run a query with the default (Auto) strategy.
+    pub fn query(&self, src: &str) -> Result<Relation, EngineError> {
+        self.query_with(src, Strategy::Auto)
+    }
+
+    /// Run a query with an explicit strategy.
+    pub fn query_with(&self, src: &str, strategy: Strategy) -> Result<Relation, EngineError> {
+        let q = self.prepare(src)?;
+        self.execute(&q, strategy)
+    }
+
+    /// Run an already-built query AST.
+    pub fn execute(&self, q: &Query, strategy: Strategy) -> Result<Relation, EngineError> {
+        arity_of(q, self.state.catalog())?;
+        match strategy {
+            Strategy::Auto => {
+                let p = self.plan_query(q);
+                self.execute_plan(&p)
+            }
+            Strategy::Lazy => {
+                let reduced = fully_lazy(q, &mut RewriteTrace::new());
+                let (optimized, _) = optimize(&reduced, self.state.catalog());
+                Ok(eval_pure(&optimized, &self.state)?)
+            }
+            Strategy::Hql1 => {
+                let enf = to_enf_query(q, &mut RewriteTrace::new());
+                Ok(algorithm_hql1(&enf, &self.state)?)
+            }
+            Strategy::Hql2 => {
+                let enf = to_enf_query(q, &mut RewriteTrace::new());
+                Ok(algorithm_hql2(&enf, &self.state)?)
+            }
+            Strategy::Delta => {
+                let m = to_mod_enf(q)?;
+                Ok(algorithm_hql3(&m, &self.state)?)
+            }
+        }
+    }
+
+    /// Produce the planner's plan for a query.
+    pub fn plan_query(&self, q: &Query) -> Plan {
+        let stats = Statistics::of(&self.state);
+        plan(q, self.state.catalog(), &stats)
+    }
+
+    /// Execute a previously produced plan.
+    pub fn execute_plan(&self, p: &Plan) -> Result<Relation, EngineError> {
+        match p.strategy {
+            PlannedStrategy::Lazy => Ok(eval_pure(&p.query, &self.state)?),
+            PlannedStrategy::EagerXsub | PlannedStrategy::Hybrid => {
+                Ok(algorithm_hql2(&p.query, &self.state)?)
+            }
+            PlannedStrategy::EagerDelta => Ok(algorithm_hql3(&p.query, &self.state)?),
+        }
+    }
+
+    /// `EXPLAIN`: the chosen plan, its candidates and rewrite traces,
+    /// rendered for humans.
+    pub fn explain(&self, src: &str) -> Result<String, EngineError> {
+        let q = self.prepare(src)?;
+        let p = self.plan_query(&q);
+        let mut out = String::new();
+        use std::fmt::Write;
+        let _ = writeln!(out, "query: {q}");
+        let _ = writeln!(out, "{p}");
+        if !p.when_trace.steps.is_empty() {
+            let _ = writeln!(out, "EQUIV_when rewrites applied: {}", p.when_trace.steps.len());
+        }
+        if p.ra_trace.total() > 0 {
+            let _ = writeln!(out, "RA rewrites applied:");
+            for (rule, n) in &p.ra_trace.counts {
+                let _ = writeln!(out, "  {rule} × {n}");
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse, type-check, and apply an update to the **real** state,
+    /// with hypothetical constraint checking first (§1's integrity
+    /// maintenance application): each constraint is evaluated
+    /// `when {U}` — if any would be violated, the update is rejected and
+    /// the state unchanged.
+    pub fn execute_update(&mut self, src: &str) -> Result<(), EngineError> {
+        let u = parse_update_named(src, self.state.catalog())?;
+        self.apply_update(&u)
+    }
+
+    /// AST form of [`Database::execute_update`].
+    pub fn apply_update(&mut self, u: &Update) -> Result<(), EngineError> {
+        check_update(u, self.state.catalog())?;
+        // Hypothetical check: constraint when {U} must be empty.
+        for (name, c) in &self.constraints {
+            let check = c
+                .violation_query
+                .clone()
+                .when(hypoquery_algebra::StateExpr::update(u.clone()));
+            let violations = self.execute(&check, Strategy::Auto)?;
+            if !violations.is_empty() {
+                return Err(EngineError::ConstraintViolation {
+                    constraint: name.clone(),
+                    violations: violations.len(),
+                });
+            }
+        }
+        self.state = eval_update(u, &self.state)?;
+        Ok(())
+    }
+
+    /// Serialize the current state (catalog + data) to the plain-text
+    /// dump format of `hypoquery_storage::dump`.
+    pub fn dump(&self) -> String {
+        hypoquery_storage::dump_state(&self.state)
+    }
+
+    /// Restore a database from a plain-text dump. Constraints are not part
+    /// of the dump and start empty.
+    pub fn restore(dump: &str) -> Result<Database, EngineError> {
+        let state = hypoquery_storage::load_state(dump)
+            .map_err(|e| EngineError::Parse(hypoquery_parser::ParseError {
+                offset: e.line,
+                message: e.to_string(),
+            }))?;
+        Ok(Database { state, constraints: BTreeMap::new() })
+    }
+
+    /// Apply an update without constraint checking (loading, tests).
+    pub fn apply_update_unchecked(&mut self, u: &Update) -> Result<(), EngineError> {
+        check_update(u, self.state.catalog())?;
+        self.state = eval_update(u, &self.state)?;
+        Ok(())
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypoquery_storage::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.define("emp", 2).unwrap(); // (id, salary)
+        db.define("dept", 2).unwrap(); // (id, dept)
+        db.load("emp", [tuple![1, 100], tuple![2, 200], tuple![3, 300]]).unwrap();
+        db.load("dept", [tuple![1, 10], tuple![2, 20]]).unwrap();
+        db
+    }
+
+    #[test]
+    fn define_load_query() {
+        let db = db();
+        let out = db.query("select #1 >= 200 (emp)").unwrap();
+        assert_eq!(out.len(), 2);
+        let out = db.query("emp join dept on #0 = #2").unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn all_strategies_agree_on_hypothetical() {
+        let db = db();
+        let q = "(emp join dept on #0 = #2) \
+                 when {insert into dept (row(3, 30))} \
+                 when {delete from emp (select #1 > 250 (emp))}";
+        let expected = db.query_with(q, Strategy::Lazy).unwrap();
+        for s in [Strategy::Auto, Strategy::Hql1, Strategy::Hql2, Strategy::Delta] {
+            assert_eq!(db.query_with(q, s).unwrap(), expected, "strategy {s}");
+        }
+        assert_eq!(expected.len(), 2);
+    }
+
+    #[test]
+    fn hypothetical_queries_do_not_mutate() {
+        let db = db();
+        db.query("emp when {delete from emp (emp)}").unwrap();
+        assert_eq!(db.query("emp").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn real_updates_mutate() {
+        let mut db = db();
+        db.execute_update("insert into emp (row(4, 400))").unwrap();
+        assert_eq!(db.query("emp").unwrap().len(), 4);
+        db.execute_update("delete from emp (select #1 < 250 (emp))").unwrap();
+        assert_eq!(db.query("emp").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn constraints_reject_bad_updates_hypothetically() {
+        let mut db = db();
+        // No employee may earn more than 500.
+        db.add_constraint("salary_cap", "select #1 > 500 (emp)").unwrap();
+        // OK update passes.
+        db.execute_update("insert into emp (row(4, 400))").unwrap();
+        // Violating update is rejected and state unchanged.
+        let err = db.execute_update("insert into emp (row(5, 900))").unwrap_err();
+        match err {
+            EngineError::ConstraintViolation { constraint, violations } => {
+                assert_eq!(constraint, "salary_cap");
+                assert_eq!(violations, 1);
+            }
+            other => panic!("expected violation, got {other}"),
+        }
+        assert_eq!(db.query("emp").unwrap().len(), 4);
+        // Duplicate constraint names are rejected.
+        assert!(matches!(
+            db.add_constraint("salary_cap", "emp"),
+            Err(EngineError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn type_errors_surface() {
+        let mut db = db();
+        assert!(matches!(db.query("emp union nope"), Err(EngineError::Type(_))));
+        assert!(matches!(db.query("emp union ("), Err(EngineError::Parse(_))));
+        assert!(db.execute_update("insert into emp (dept join dept on true)").is_err());
+    }
+
+    #[test]
+    fn keyword_relation_names_rejected() {
+        let mut db = Database::new();
+        assert!(db.define("when", 1).is_err());
+    }
+
+    #[test]
+    fn named_schema_end_to_end() {
+        let mut db = Database::new();
+        db.define_named("emp", ["id", "salary"]).unwrap();
+        db.define_named("dept", ["emp_id", "dept_id"]).unwrap();
+        db.load("emp", [tuple![1, 100], tuple![2, 200]]).unwrap();
+        db.load("dept", [tuple![2, 10]]).unwrap();
+        // Named predicates in queries, joins, updates, constraints.
+        let out = db.query("select salary >= 200 (emp)").unwrap();
+        assert_eq!(out.len(), 1);
+        let out = db.query("emp join dept on id = emp_id").unwrap();
+        assert_eq!(out.len(), 1);
+        db.add_constraint("cap", "select salary > 1000 (emp)").unwrap();
+        db.execute_update("insert into emp (row(3, 300))").unwrap();
+        assert!(db
+            .execute_update("insert into emp (row(4, 2000))")
+            .is_err());
+        // Hypothetical with named columns.
+        let out = db
+            .query("select salary >= 200 (emp) when {delete from emp (select id = 2 (emp))}")
+            .unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn dump_restore_roundtrip() {
+        let mut db = Database::new();
+        db.define_named("emp", ["id", "salary"]).unwrap();
+        db.load("emp", [tuple![1, 100], tuple![2, 200]]).unwrap();
+        let text = db.dump();
+        let back = Database::restore(&text).unwrap();
+        assert_eq!(back.query("emp").unwrap(), db.query("emp").unwrap());
+        // Named columns survive the roundtrip.
+        assert_eq!(back.query("select salary >= 200 (emp)").unwrap().len(), 1);
+        assert!(Database::restore("relation R nope").is_err());
+    }
+
+    #[test]
+    fn query_table_renders_headers() {
+        let mut db = Database::new();
+        db.define_named("emp", ["id", "salary"]).unwrap();
+        db.load("emp", [tuple![1, 100]]).unwrap();
+        let table = db.query_table("emp").unwrap();
+        assert!(table.contains("id"), "{table}");
+        assert!(table.contains("salary"), "{table}");
+        assert!(table.contains("100"), "{table}");
+        // Anonymous columns fall back to positions.
+        let table = db.query_table("aggregate [; count] (emp) times project 0 (emp)").unwrap();
+        assert!(table.contains("count"), "{table}");
+    }
+
+    #[test]
+    fn explain_mentions_strategy() {
+        let db = db();
+        let s = db
+            .explain("emp when {insert into emp (select #1 > 100 (emp))}")
+            .unwrap();
+        assert!(s.contains("strategy:"), "{s}");
+        assert!(s.contains("candidate"), "{s}");
+    }
+
+    #[test]
+    fn delta_strategy_errors_without_mod_enf() {
+        let db = db();
+        let q = "emp when {select #1 > 100 (emp) / emp}";
+        assert!(matches!(
+            db.query_with(q, Strategy::Delta),
+            Err(EngineError::Enf(_))
+        ));
+        // But Auto handles it fine.
+        assert!(db.query_with(q, Strategy::Auto).is_ok());
+    }
+}

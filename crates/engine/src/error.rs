@@ -1,0 +1,103 @@
+//! Engine-level error type, unifying the layers below.
+
+use std::fmt;
+
+use hypoquery_algebra::TypeError;
+use hypoquery_core::EnfError;
+use hypoquery_eval::EvalError;
+use hypoquery_parser::ParseError;
+use hypoquery_storage::StorageError;
+
+/// Any error the engine can surface.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// Surface-syntax error.
+    Parse(ParseError),
+    /// Arity/typing error.
+    Type(TypeError),
+    /// Evaluation error.
+    Eval(EvalError),
+    /// Storage error.
+    Storage(StorageError),
+    /// Normal-form error (e.g. delta strategy requested for a query with
+    /// no mod-ENF form).
+    Enf(EnfError),
+    /// An integrity constraint would be violated by an update; the update
+    /// was not applied.
+    ConstraintViolation {
+        /// The violated constraint's name.
+        constraint: String,
+        /// Number of violating tuples found.
+        violations: usize,
+    },
+    /// A name was already in use (constraint, branch, temp table).
+    DuplicateName(String),
+    /// A referenced name (branch, constraint, temp) does not exist.
+    UnknownName(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Type(e) => write!(f, "{e}"),
+            EngineError::Eval(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::Enf(e) => write!(f, "{e}"),
+            EngineError::ConstraintViolation { constraint, violations } => write!(
+                f,
+                "update aborted: constraint `{constraint}` violated by {violations} tuple(s)"
+            ),
+            EngineError::DuplicateName(n) => write!(f, "name `{n}` is already in use"),
+            EngineError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+
+impl From<TypeError> for EngineError {
+    fn from(e: TypeError) -> Self {
+        EngineError::Type(e)
+    }
+}
+
+impl From<EvalError> for EngineError {
+    fn from(e: EvalError) -> Self {
+        EngineError::Eval(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+impl From<EnfError> for EngineError {
+    fn from(e: EnfError) -> Self {
+        EngineError::Enf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = EngineError::ConstraintViolation { constraint: "c1".into(), violations: 3 };
+        assert!(e.to_string().contains("c1"));
+        assert!(e.to_string().contains("3"));
+        assert!(EngineError::DuplicateName("x".into()).to_string().contains("already in use"));
+        assert!(EngineError::UnknownName("y".into()).to_string().contains("unknown name"));
+        let p: EngineError = ParseError { offset: 0, message: "m".into() }.into();
+        assert!(p.to_string().contains("parse error"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # hypoquery-engine
+//!
+//! The public facade of the `hypoquery` framework:
+//!
+//! * [`Database`] — schema definition, loading, real (constraint-checked)
+//!   updates, and hypothetical queries with a selectable evaluation
+//!   [`Strategy`] spanning the paper's eager↔lazy spectrum, plus
+//!   `EXPLAIN`;
+//! * [`WhatIfTree`] — named trees of hypothetical updates (the
+//!   decision-support scenario of Example 2.1);
+//! * [`ext`] — §6 extensions: temporary tables as substitutions and
+//!   `η₁ when η₂`.
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod error;
+pub mod ext;
+pub mod prepared;
+pub mod savepoint;
+pub mod whatif;
+
+pub use database::{Constraint, Database, Strategy};
+pub use error::EngineError;
+pub use ext::{state_when, TempTables};
+pub use prepared::PreparedState;
+pub use savepoint::Transaction;
+pub use whatif::WhatIfTree;

@@ -1,0 +1,190 @@
+//! Savepoints and transactions over hypothetical states.
+//!
+//! A [`Transaction`] buffers updates instead of applying them: its
+//! pending updates form one hypothetical state, so reads *inside* the
+//! transaction are ordinary hypothetical queries against the real state —
+//! nothing is copied, locked, or undone. `commit` applies the buffered
+//! sequence through the database's constraint checking in one shot;
+//! `rollback` (or drop) discards it. Savepoints are just markers into the
+//! buffered sequence.
+//!
+//! This is the "version management" application of the introduction, with
+//! the paper's machinery doing all the work: reads-in-a-transaction are
+//! `Q when {pending}`, and the planner freely chooses lazy/eager per
+//! query.
+
+use hypoquery_storage::Relation;
+
+use hypoquery_algebra::typing::check_update;
+use hypoquery_algebra::{StateExpr, Update};
+use hypoquery_parser::{parse_query_named, parse_update_named};
+
+use crate::database::{Database, Strategy};
+use crate::error::EngineError;
+
+/// A buffered, hypothetical transaction over a database.
+#[derive(Clone, Debug, Default)]
+pub struct Transaction {
+    /// Buffered updates, in execution order.
+    pending: Vec<Update>,
+    /// Named savepoints: name → length of `pending` when created.
+    savepoints: Vec<(String, usize)>,
+}
+
+impl Transaction {
+    /// Begin an empty transaction.
+    pub fn begin() -> Self {
+        Transaction::default()
+    }
+
+    /// Number of buffered updates.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Buffer an update (type-checked now, applied at commit).
+    pub fn update(&mut self, db: &Database, src: &str) -> Result<(), EngineError> {
+        let u = parse_update_named(src, db.catalog())?;
+        check_update(&u, db.catalog())?;
+        self.pending.push(u);
+        Ok(())
+    }
+
+    /// Create a named savepoint at the current position.
+    pub fn savepoint(&mut self, name: &str) -> Result<(), EngineError> {
+        if self.savepoints.iter().any(|(n, _)| n == name) {
+            return Err(EngineError::DuplicateName(name.to_string()));
+        }
+        self.savepoints.push((name.to_string(), self.pending.len()));
+        Ok(())
+    }
+
+    /// Roll back to a savepoint, discarding later updates and later
+    /// savepoints. The savepoint itself stays usable.
+    pub fn rollback_to(&mut self, name: &str) -> Result<(), EngineError> {
+        let idx = self
+            .savepoints
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| EngineError::UnknownName(name.to_string()))?;
+        let keep = self.savepoints[idx].1;
+        self.pending.truncate(keep);
+        self.savepoints.truncate(idx + 1);
+        Ok(())
+    }
+
+    /// Discard everything.
+    pub fn rollback(&mut self) {
+        self.pending.clear();
+        self.savepoints.clear();
+    }
+
+    /// The pending updates as one hypothetical state expression, if any.
+    pub fn as_state(&self) -> Option<StateExpr> {
+        let mut it = self.pending.iter().cloned();
+        let first = it.next()?;
+        Some(StateExpr::update(it.fold(first, Update::then)))
+    }
+
+    /// Read inside the transaction: the query sees the real state plus
+    /// every buffered update — hypothetically.
+    pub fn query(&self, db: &Database, src: &str) -> Result<Relation, EngineError> {
+        let q = parse_query_named(src, db.catalog())?;
+        match self.as_state() {
+            None => db.execute(&q, Strategy::Auto),
+            Some(eta) => db.execute(&q.when(eta), Strategy::Auto),
+        }
+    }
+
+    /// Apply the buffered updates for real (single constraint-checked
+    /// sequence — all or nothing) and end the transaction.
+    pub fn commit(self, db: &mut Database) -> Result<(), EngineError> {
+        if let Some(StateExpr::Update(u)) = self.as_state() {
+            db.apply_update(&u)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypoquery_storage::tuple;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.define_named("acct", ["id", "bal"]).unwrap();
+        db.load("acct", [tuple![1, 100], tuple![2, 50]]).unwrap();
+        db.add_constraint("no_neg", "select bal < 0 (acct)").unwrap();
+        db
+    }
+
+    #[test]
+    fn reads_see_pending_writes_hypothetically() {
+        let mut base = db();
+        let mut tx = Transaction::begin();
+        tx.update(&base, "insert into acct (row(3, 75))").unwrap();
+        assert_eq!(tx.query(&base, "acct").unwrap().len(), 3);
+        // Real state untouched until commit.
+        assert_eq!(base.query("acct").unwrap().len(), 2);
+        tx.commit(&mut base).unwrap();
+        assert_eq!(base.query("acct").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn savepoints_truncate_pending() {
+        let base = db();
+        let mut tx = Transaction::begin();
+        tx.update(&base, "insert into acct (row(3, 75))").unwrap();
+        tx.savepoint("sp1").unwrap();
+        tx.update(&base, "delete from acct (acct)").unwrap();
+        assert!(tx.query(&base, "acct").unwrap().is_empty());
+        tx.rollback_to("sp1").unwrap();
+        assert_eq!(tx.query(&base, "acct").unwrap().len(), 3);
+        assert_eq!(tx.len(), 1);
+        // Savepoint survives and can be reused.
+        tx.update(&base, "delete from acct (select id = 1 (acct))").unwrap();
+        tx.rollback_to("sp1").unwrap();
+        assert_eq!(tx.len(), 1);
+        // Unknown / duplicate names error.
+        assert!(tx.rollback_to("nope").is_err());
+        assert!(tx.savepoint("sp1").is_err());
+    }
+
+    #[test]
+    fn commit_is_all_or_nothing_via_constraints() {
+        let mut base = db();
+        let mut tx = Transaction::begin();
+        // Two updates: the pair would overdraw account 2.
+        tx.update(&base, "delete from acct (row(2, 50))").unwrap();
+        tx.update(&base, "insert into acct (row(2, -10))").unwrap();
+        // Inside the transaction the (future) violation is visible
+        // hypothetically.
+        assert_eq!(tx.query(&base, "select bal < 0 (acct)").unwrap().len(), 1);
+        let err = tx.clone().commit(&mut base).unwrap_err();
+        assert!(matches!(err, EngineError::ConstraintViolation { .. }));
+        // Nothing happened.
+        assert_eq!(base.query("acct").unwrap().len(), 2);
+        // Fix it and commit.
+        tx.rollback();
+        assert!(tx.is_empty());
+        tx.update(&base, "delete from acct (row(2, 50))").unwrap();
+        tx.update(&base, "insert into acct (row(2, 0))").unwrap();
+        tx.commit(&mut base).unwrap();
+        assert!(base.query("acct").unwrap().contains(&tuple![2, 0]));
+    }
+
+    #[test]
+    fn empty_transaction_commits_as_noop() {
+        let mut base = db();
+        let tx = Transaction::begin();
+        assert!(tx.as_state().is_none());
+        tx.commit(&mut base).unwrap();
+        assert_eq!(base.query("acct").unwrap().len(), 2);
+    }
+}

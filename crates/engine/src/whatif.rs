@@ -1,0 +1,246 @@
+//! What-if branch trees: Example 2.1's "tree of potential updates".
+//!
+//! Each node of a [`WhatIfTree`] is a named hypothetical state: the state
+//! produced by applying all updates on the path from the root to that
+//! node. Queries "at" a branch are ordinary hypothetical queries — the
+//! path's updates become one composed state expression — and run through
+//! the planner like any other, so the whole lazy↔eager spectrum applies to
+//! decision-support trees for free.
+
+use std::collections::BTreeMap;
+
+use hypoquery_storage::Relation;
+
+use hypoquery_algebra::typing::check_update;
+use hypoquery_algebra::{Query, StateExpr, Update};
+use hypoquery_parser::{parse_query_named, parse_update_named};
+
+use crate::database::{Database, Strategy};
+use crate::error::EngineError;
+
+/// One branch in the tree.
+#[derive(Clone, Debug)]
+struct Branch {
+    parent: Option<String>,
+    update: Update,
+}
+
+/// A tree of named hypothetical updates over a database.
+#[derive(Clone, Debug, Default)]
+pub struct WhatIfTree {
+    branches: BTreeMap<String, Branch>,
+}
+
+impl WhatIfTree {
+    /// An empty tree (the implicit root is the database's real state).
+    pub fn new() -> Self {
+        WhatIfTree::default()
+    }
+
+    /// Add a branch applying `update` on top of `parent` (`None` = the
+    /// real state). The update is type-checked against the database.
+    pub fn branch(
+        &mut self,
+        db: &Database,
+        name: &str,
+        parent: Option<&str>,
+        update: &str,
+    ) -> Result<(), EngineError> {
+        if self.branches.contains_key(name) {
+            return Err(EngineError::DuplicateName(name.to_string()));
+        }
+        if let Some(p) = parent {
+            if !self.branches.contains_key(p) {
+                return Err(EngineError::UnknownName(p.to_string()));
+            }
+        }
+        let u = parse_update_named(update, db.catalog())?;
+        check_update(&u, db.catalog())?;
+        self.branches.insert(
+            name.to_string(),
+            Branch { parent: parent.map(str::to_string), update: u },
+        );
+        Ok(())
+    }
+
+    /// Names of all branches, in name order.
+    pub fn branch_names(&self) -> impl Iterator<Item = &str> {
+        self.branches.keys().map(String::as_str)
+    }
+
+    /// The composed state expression for the path from the root to
+    /// `branch`: `{U_root} # … # {U_branch}` (root applied first).
+    pub fn state_of(&self, branch: &str) -> Result<StateExpr, EngineError> {
+        let mut path: Vec<&Update> = Vec::new();
+        let mut cur = Some(branch);
+        while let Some(name) = cur {
+            let b = self
+                .branches
+                .get(name)
+                .ok_or_else(|| EngineError::UnknownName(name.to_string()))?;
+            path.push(&b.update);
+            cur = b.parent.as_deref();
+        }
+        // path is leaf→root; compose root-first.
+        let mut iter = path.into_iter().rev();
+        let first = iter.next().expect("at least the branch itself");
+        let mut eta = StateExpr::update(first.clone());
+        for u in iter {
+            eta = eta.compose(StateExpr::update(u.clone()));
+        }
+        Ok(eta)
+    }
+
+    /// Wrap a query so it evaluates in the named branch's hypothetical
+    /// state.
+    pub fn at(&self, branch: &str, q: &Query) -> Result<Query, EngineError> {
+        Ok(q.clone().when(self.state_of(branch)?))
+    }
+
+    /// Run `query_src` in the named branch's state.
+    pub fn query_at(
+        &self,
+        db: &Database,
+        branch: &str,
+        query_src: &str,
+        strategy: Strategy,
+    ) -> Result<Relation, EngineError> {
+        let q = parse_query_named(query_src, db.catalog())?;
+        db.execute(&self.at(branch, &q)?, strategy)
+    }
+
+    /// Example 2.1's comparison query: the tuples `query_src` returns in
+    /// branch `b1` but not in `b2` — `(Q when η₁) − (Q when η₂)`, both
+    /// relative to the current state.
+    pub fn diff_between(
+        &self,
+        db: &Database,
+        b1: &str,
+        b2: &str,
+        query_src: &str,
+        strategy: Strategy,
+    ) -> Result<Relation, EngineError> {
+        let q = parse_query_named(query_src, db.catalog())?;
+        let q1 = self.at(b1, &q)?;
+        let q2 = self.at(b2, &q)?;
+        db.execute(&q1.diff(q2), strategy)
+    }
+
+    /// Commit a branch: apply its path's updates to the real database
+    /// state (through constraint checking) and drop the whole tree, whose
+    /// hypothetical states are now stale.
+    pub fn commit(self, db: &mut Database, branch: &str) -> Result<(), EngineError> {
+        let mut path: Vec<Update> = Vec::new();
+        let mut cur = Some(branch.to_string());
+        while let Some(name) = cur {
+            let b = self
+                .branches
+                .get(&name)
+                .ok_or_else(|| EngineError::UnknownName(name.clone()))?;
+            path.push(b.update.clone());
+            cur = b.parent.clone();
+        }
+        for u in path.into_iter().rev() {
+            db.apply_update(&u)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypoquery_storage::tuple;
+
+    fn setup() -> (Database, WhatIfTree) {
+        let mut db = Database::new();
+        db.define("inv", 2).unwrap(); // (item, qty)
+        db.load("inv", [tuple![1, 10], tuple![2, 20], tuple![3, 30]]).unwrap();
+        let mut tree = WhatIfTree::new();
+        tree.branch(&db, "base_plan", None, "delete from inv (select #1 < 15 (inv))")
+            .unwrap();
+        tree.branch(
+            &db,
+            "restock",
+            Some("base_plan"),
+            "insert into inv (row(4, 40))",
+        )
+        .unwrap();
+        tree.branch(
+            &db,
+            "clearance",
+            Some("base_plan"),
+            "delete from inv (select #1 > 25 (inv))",
+        )
+        .unwrap();
+        (db, tree)
+    }
+
+    #[test]
+    fn queries_at_branches_see_path_updates() {
+        let (db, tree) = setup();
+        let at = |b: &str| tree.query_at(&db, b, "inv", Strategy::Auto).unwrap().len();
+        assert_eq!(at("base_plan"), 2); // item 1 removed
+        assert_eq!(at("restock"), 3); // + item 4
+        assert_eq!(at("clearance"), 1); // item 3 also removed
+        // The real state is untouched.
+        assert_eq!(db.query("inv").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn diff_between_sibling_branches() {
+        let (db, tree) = setup();
+        let d = tree
+            .diff_between(&db, "restock", "clearance", "inv", Strategy::Auto)
+            .unwrap();
+        // restock has items {2,3,4}; clearance has {2}: diff = {3,4}.
+        assert_eq!(d.len(), 2);
+        // Strategies agree.
+        for s in [Strategy::Lazy, Strategy::Hql1, Strategy::Hql2] {
+            assert_eq!(
+                tree.diff_between(&db, "restock", "clearance", "inv", s).unwrap(),
+                d
+            );
+        }
+    }
+
+    #[test]
+    fn state_of_composes_root_first() {
+        let (db, tree) = setup();
+        let eta = tree.state_of("restock").unwrap();
+        // Evaluate directly: should equal querying at the branch.
+        let q = Query::base("inv").when(eta);
+        let via_state = db.execute(&q, Strategy::Lazy).unwrap();
+        let via_query = tree.query_at(&db, "restock", "inv", Strategy::Lazy).unwrap();
+        assert_eq!(via_state, via_query);
+    }
+
+    #[test]
+    fn branch_validation() {
+        let (db, mut tree) = setup();
+        assert!(matches!(
+            tree.branch(&db, "base_plan", None, "insert into inv (row(9, 9))"),
+            Err(EngineError::DuplicateName(_))
+        ));
+        assert!(matches!(
+            tree.branch(&db, "x", Some("missing"), "insert into inv (row(9, 9))"),
+            Err(EngineError::UnknownName(_))
+        ));
+        assert!(tree
+            .branch(&db, "bad_arity", None, "insert into inv (row(9))")
+            .is_err());
+        assert!(matches!(
+            tree.query_at(&db, "nope", "inv", Strategy::Auto),
+            Err(EngineError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn commit_applies_path() {
+        let (mut db, tree) = setup();
+        tree.commit(&mut db, "clearance").unwrap();
+        let rows = db.query("inv").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows.contains(&tuple![2, 20]));
+    }
+}

@@ -1,0 +1,187 @@
+//! Explicit substitution values — *xsub-values* (§5.3).
+//!
+//! An xsub-value `E` is a partial map from relation names to physical
+//! relations: the materialized form of an explicit substitution in a given
+//! state. The two operators of §5.3 are [`XsubValue::apply`] and the smash
+//! `E₁ ! E₂` ([`XsubValue::smash`]), with
+//!
+//! ```text
+//! apply(DB, [ε]ₓ(DB)) = [[ε]](DB)
+//! [ε₁ # ε₂]ₓ(DB)      = [ε₁]ₓ(DB) ! [ε₂]ₓ(apply(DB, [ε₁]ₓ(DB)))
+//! ```
+//!
+//! both of which are property-tested in `tests/`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hypoquery_storage::{DatabaseState, RelName, Relation};
+
+use hypoquery_algebra::ExplicitSubst;
+
+use crate::direct::eval_query;
+use crate::error::EvalError;
+
+/// A materialized explicit substitution: `{J₁/R₁, …, Jₙ/Rₙ}` with each `Jᵢ`
+/// a physical relation.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct XsubValue {
+    map: BTreeMap<RelName, Relation>,
+}
+
+impl XsubValue {
+    /// The empty xsub-value `{ }`.
+    pub fn empty() -> Self {
+        XsubValue::default()
+    }
+
+    /// Build from (name, relation) pairs.
+    pub fn new(bindings: impl IntoIterator<Item = (RelName, Relation)>) -> Self {
+        XsubValue { map: bindings.into_iter().collect() }
+    }
+
+    /// Bind (or replace) `name ↦ value`.
+    pub fn bind(&mut self, name: impl Into<RelName>, value: Relation) {
+        self.map.insert(name.into(), value);
+    }
+
+    /// The relation bound to `name`, if any.
+    pub fn get(&self, name: &RelName) -> Option<&Relation> {
+        self.map.get(name)
+    }
+
+    /// Whether no names are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of bound names.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total tuples across all bound relations (materialization size — the
+    /// quantity eager strategies pay for; see benches E2/E3/E5).
+    pub fn total_tuples(&self) -> usize {
+        self.map.values().map(Relation::len).sum()
+    }
+
+    /// Iterate bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelName, &Relation)> {
+        self.map.iter()
+    }
+
+    /// `apply(DB, E)`: the state reading bound names from `E` and all
+    /// others from `DB`.
+    pub fn apply(&self, db: &DatabaseState) -> Result<DatabaseState, EvalError> {
+        let mut out = db.clone();
+        for (name, rel) in &self.map {
+            out.set(name.clone(), rel.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// The smash `self ! other` (§5.3): bindings of `other` win;
+    /// `self`'s bindings survive where `other` is silent.
+    pub fn smash(&self, other: &XsubValue) -> XsubValue {
+        let mut map = self.map.clone();
+        for (name, rel) in &other.map {
+            map.insert(name.clone(), rel.clone());
+        }
+        XsubValue { map }
+    }
+}
+
+impl fmt::Display for XsubValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (name, rel)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "[{} tuples]/{name}", rel.len())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// `[ε]ₓ(DB)`: materialize an explicit substitution into an xsub-value by
+/// evaluating every binding in `DB` (§5.3). Bindings may be full HQL
+/// queries (ENF permits `when` inside them).
+pub fn materialize_subst(
+    eps: &ExplicitSubst,
+    db: &DatabaseState,
+) -> Result<XsubValue, EvalError> {
+    let mut out = XsubValue::empty();
+    for (name, q) in eps.iter() {
+        out.bind(name.clone(), eval_query(q, db)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypoquery_algebra::Query;
+    use hypoquery_storage::{tuple, Catalog};
+
+    fn db() -> DatabaseState {
+        let mut cat = Catalog::new();
+        cat.declare_arity("R", 1).unwrap();
+        cat.declare_arity("S", 1).unwrap();
+        let mut db = DatabaseState::new(cat);
+        db.insert_rows("R", [tuple![1], tuple![2]]).unwrap();
+        db.insert_rows("S", [tuple![9]]).unwrap();
+        db
+    }
+
+    fn rel(vals: &[i64]) -> Relation {
+        Relation::from_rows(1, vals.iter().map(|&v| tuple![v])).unwrap()
+    }
+
+    #[test]
+    fn apply_overlays_bindings() {
+        let db = db();
+        let e = XsubValue::new([("R".into(), rel(&[5]))]);
+        let out = e.apply(&db).unwrap();
+        assert_eq!(out.get(&"R".into()).unwrap(), rel(&[5]));
+        assert_eq!(out.get(&"S".into()).unwrap(), rel(&[9]));
+    }
+
+    #[test]
+    fn smash_right_biased() {
+        let e1 = XsubValue::new([("R".into(), rel(&[1])), ("S".into(), rel(&[2]))]);
+        let e2 = XsubValue::new([("S".into(), rel(&[3])), ("T".into(), rel(&[4]))]);
+        let s = e1.smash(&e2);
+        assert_eq!(s.get(&"R".into()), Some(&rel(&[1])));
+        assert_eq!(s.get(&"S".into()), Some(&rel(&[3])));
+        assert_eq!(s.get(&"T".into()), Some(&rel(&[4])));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn smash_with_empty_is_identity() {
+        let e = XsubValue::new([("R".into(), rel(&[1]))]);
+        assert_eq!(e.smash(&XsubValue::empty()), e);
+        assert_eq!(XsubValue::empty().smash(&e), e);
+    }
+
+    #[test]
+    fn materialize_evaluates_bindings() {
+        let db = db();
+        let eps = ExplicitSubst::single("R", Query::base("R").union(Query::base("S")));
+        let e = materialize_subst(&eps, &db).unwrap();
+        assert_eq!(e.get(&"R".into()), Some(&rel(&[1, 2, 9])));
+        assert_eq!(e.total_tuples(), 3);
+        // apply(DB, [ε]ₓ(DB)) = [[ε]](DB)
+        let lhs = e.apply(&db).unwrap();
+        let rhs = crate::direct::apply_subst(&db, &eps).unwrap();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn display_shows_sizes() {
+        let e = XsubValue::new([("R".into(), rel(&[1, 2]))]);
+        assert_eq!(e.to_string(), "{[2 tuples]/R}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # hypoquery-opt
+//!
+//! The conventional optimizer substrate plus the strategy planner:
+//!
+//! * [`implication`] — sound partial implication/unsatisfiability for
+//!   comparison predicates (powers the paper's "algebraic simplification"
+//!   steps);
+//! * [`rewrite`] — a normalizing relational-algebra rewriter (the
+//!   "conventional techniques" the lazy strategy hands off to);
+//! * [`stats`] — cardinality statistics and a unit-cost model;
+//! * [`planner`] — picks lazy / eager-xsub / eager-delta / hybrid per
+//!   query, the spectrum §5 of the paper describes.
+
+#![warn(missing_docs)]
+
+pub mod implication;
+pub mod planner;
+pub mod reduce;
+pub mod rewrite;
+pub mod stats;
+
+pub use implication::{pred_implies, pred_unsat};
+pub use planner::{plan, Plan, PlannedStrategy};
+pub use reduce::reduce_optimized;
+pub use rewrite::{optimize, RaTrace};
+pub use stats::{estimate_cost, estimate_rows, Statistics};

@@ -1,0 +1,290 @@
+//! The strategy planner: choosing a point on the eager↔lazy spectrum.
+//!
+//! §5 frames the choice of an equivalent ENF query as "the choice of how
+//! eager or lazy the evaluation" is. The planner builds up to four
+//! candidates and picks the cheapest under the cost model of
+//! [`crate::stats`]:
+//!
+//! * **Lazy** — `fully_lazy` reduction + RA optimization; evaluate the pure
+//!   result conventionally. Wins when hypothetical relations are referenced
+//!   rarely, or when rewriting proves the result (near-)empty — Ex. 2.1(b).
+//! * **EagerXsub** — normalize to ENF, materialize substitutions, filter
+//!   (Algorithm HQL-2). Wins when affected names occur many times in the
+//!   query — Ex. 2.1(c) — because the cost model charges lazy for every
+//!   inlined copy of a binding and eager only once.
+//! * **EagerDelta** — normalize to mod-ENF and run Algorithm HQL-3. Wins
+//!   when the updates touch a small fraction of the data — §5.5.
+//! * **Hybrid** — per-`when` greedy mix: reduce a `when` lazily where that
+//!   is estimated cheaper, keep it for materialization where not —
+//!   Ex. 2.1(c)'s mixed strategy.
+
+use std::fmt;
+
+use hypoquery_storage::Catalog;
+
+use hypoquery_algebra::Query;
+use hypoquery_core::{
+    fully_lazy, is_mod_enf, simplify_enf, to_enf_query, to_mod_enf, RewriteTrace,
+};
+
+use crate::rewrite::{optimize, RaTrace};
+use crate::stats::{estimate_cost, Statistics};
+
+/// Which evaluation strategy a plan uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PlannedStrategy {
+    /// Reduce to pure RA and evaluate conventionally.
+    Lazy,
+    /// ENF + xsub materialization (Algorithm HQL-2).
+    EagerXsub,
+    /// mod-ENF + delta values (Algorithm HQL-3).
+    EagerDelta,
+    /// Partially reduced ENF: some `when`s inlined, others materialized
+    /// (executed by Algorithm HQL-2).
+    Hybrid,
+}
+
+impl fmt::Display for PlannedStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PlannedStrategy::Lazy => "lazy",
+            PlannedStrategy::EagerXsub => "eager-xsub",
+            PlannedStrategy::EagerDelta => "eager-delta",
+            PlannedStrategy::Hybrid => "hybrid",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A prepared execution plan.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The chosen strategy.
+    pub strategy: PlannedStrategy,
+    /// The query to execute, already in the shape the strategy expects
+    /// (pure for Lazy; ENF for EagerXsub/Hybrid; mod-ENF for EagerDelta).
+    pub query: Query,
+    /// The estimated cost of the chosen plan.
+    pub est_cost: f64,
+    /// Every candidate considered, with its estimated cost (for EXPLAIN).
+    pub candidates: Vec<(PlannedStrategy, f64)>,
+    /// EQUIV_when rewrite trace accumulated while preparing the plan.
+    pub when_trace: RewriteTrace,
+    /// RA rewrite trace of the chosen plan's optimization.
+    pub ra_trace: RaTrace,
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "strategy: {} (est. cost {:.1})", self.strategy, self.est_cost)?;
+        for (s, c) in &self.candidates {
+            writeln!(f, "  candidate {s}: est. cost {c:.1}")?;
+        }
+        write!(f, "plan: {}", self.query)
+    }
+}
+
+/// Plan a query against the given statistics.
+pub fn plan(q: &Query, catalog: &Catalog, stats: &Statistics) -> Plan {
+    let mut when_trace = RewriteTrace::new();
+
+    // Candidate: lazy.
+    let lazy_raw = fully_lazy(q, &mut when_trace);
+    let (lazy_q, lazy_ra) = optimize(&lazy_raw, catalog);
+    let cost_lazy = estimate_cost(&lazy_q, stats);
+
+    if q.is_pure() {
+        return Plan {
+            strategy: PlannedStrategy::Lazy,
+            query: lazy_q,
+            est_cost: cost_lazy,
+            candidates: vec![(PlannedStrategy::Lazy, cost_lazy)],
+            when_trace,
+            ra_trace: lazy_ra,
+        };
+    }
+
+    let mut candidates = vec![(PlannedStrategy::Lazy, cost_lazy)];
+
+    // Candidate: eager with xsub-values (HQL-2).
+    let enf = simplify_enf(&to_enf_query(q, &mut when_trace), &mut when_trace);
+    let (enf_q, enf_ra) = optimize(&enf, catalog);
+    let cost_xsub = estimate_cost(&enf_q, stats);
+    candidates.push((PlannedStrategy::EagerXsub, cost_xsub));
+
+    // Candidate: eager with deltas (HQL-3), when mod-ENF exists. The RA
+    // optimizer descends into `when` bodies without disturbing the
+    // mod-ENF shape.
+    let delta_candidate = to_mod_enf(q)
+        .ok()
+        .map(|m| optimize(&m, catalog).0)
+        .filter(is_mod_enf)
+        .map(|m| {
+            let cost = estimate_cost(&m, stats);
+            (m, cost)
+        });
+    if let Some((_, c)) = &delta_candidate {
+        candidates.push((PlannedStrategy::EagerDelta, *c));
+    }
+
+    // Candidate: hybrid (greedy per-when), only when the query nests whens.
+    let hybrid = hybrid_candidate(&enf_q, catalog, stats, &mut when_trace);
+    let hybrid = hybrid.filter(|h| *h != enf_q && *h != lazy_q);
+    let hybrid_scored = hybrid.map(|h| {
+        let c = estimate_cost(&h, stats);
+        (h, c)
+    });
+    if let Some((_, c)) = &hybrid_scored {
+        candidates.push((PlannedStrategy::Hybrid, *c));
+    }
+
+    // Pick the cheapest; ties prefer the earlier candidate (lazy first —
+    // it needs no materialization machinery).
+    let best = candidates
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least the lazy candidate exists");
+
+    let (query, ra_trace) = match best.0 {
+        PlannedStrategy::Lazy => (lazy_q, lazy_ra),
+        PlannedStrategy::EagerXsub => (enf_q, enf_ra),
+        PlannedStrategy::EagerDelta => {
+            let (m, _) = delta_candidate.expect("candidate recorded above");
+            (m, RaTrace::default())
+        }
+        PlannedStrategy::Hybrid => {
+            let (h, _) = hybrid_scored.expect("candidate recorded above");
+            (h, RaTrace::default())
+        }
+    };
+
+    Plan {
+        strategy: best.0,
+        query,
+        est_cost: best.1,
+        candidates,
+        when_trace,
+        ra_trace,
+    }
+}
+
+/// Greedy hybrid: walk the ENF query; at each `when`, inline it lazily if
+/// the reduced form is estimated cheaper than keeping it for
+/// materialization. Returns `None` when the query has no `when` at all.
+fn hybrid_candidate(
+    enf_q: &Query,
+    catalog: &Catalog,
+    stats: &Statistics,
+    trace: &mut RewriteTrace,
+) -> Option<Query> {
+    if enf_q.is_pure() {
+        return None;
+    }
+    Some(hybridize(enf_q, catalog, stats, trace))
+}
+
+fn hybridize(
+    q: &Query,
+    catalog: &Catalog,
+    stats: &Statistics,
+    trace: &mut RewriteTrace,
+) -> Query {
+    let rebuilt = match q.clone() {
+        Query::When(body, eta) => {
+            let body = hybridize(&body, catalog, stats, trace);
+            body.when(*eta)
+        }
+        other => other.map_subqueries(|sub| hybridize(&sub, catalog, stats, trace)),
+    };
+    if let Query::When(_, _) = &rebuilt {
+        let eager_cost = estimate_cost(&rebuilt, stats);
+        let lazy_form = fully_lazy(&rebuilt, trace);
+        let (lazy_form, _) = optimize(&lazy_form, catalog);
+        let lazy_cost = estimate_cost(&lazy_form, stats);
+        if lazy_cost <= eager_cost {
+            return lazy_form;
+        }
+    }
+    rebuilt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypoquery_algebra::{CmpOp, Predicate, StateExpr, Update};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare_arity("R", 2).unwrap();
+        c.declare_arity("S", 2).unwrap();
+        c
+    }
+
+    fn stats(r: f64, s: f64) -> Statistics {
+        Statistics::from_cards([("R".into(), r), ("S".into(), s)])
+    }
+
+    fn hypo_query(occurrences: usize) -> Query {
+        // Body references R `occurrences` times via self-join chains that
+        // no rewrite rule collapses, under ins(R, σ(S)).
+        let mut body = Query::base("R");
+        for _ in 1..occurrences {
+            body = body
+                .join(Query::base("R"), Predicate::col_col(0, CmpOp::Eq, 2))
+                .project([0, 3]);
+        }
+        body.when(StateExpr::update(Update::insert(
+            "R",
+            Query::base("S").select(Predicate::col_cmp(0, CmpOp::Gt, 30)),
+        )))
+    }
+
+    #[test]
+    fn pure_queries_plan_lazy() {
+        let q = Query::base("R").union(Query::base("S"));
+        let p = plan(&q, &catalog(), &stats(100.0, 100.0));
+        assert_eq!(p.strategy, PlannedStrategy::Lazy);
+        assert!(p.query.is_pure());
+        assert_eq!(p.candidates.len(), 1);
+    }
+
+    #[test]
+    fn single_occurrence_prefers_lazy_or_delta() {
+        let p = plan(&hypo_query(1), &catalog(), &stats(1000.0, 1000.0));
+        // One occurrence: materializing R ∪ σ(S) buys nothing.
+        assert_ne!(p.strategy, PlannedStrategy::EagerXsub);
+    }
+
+    #[test]
+    fn many_occurrences_prefer_eager() {
+        let p = plan(&hypo_query(12), &catalog(), &stats(1000.0, 1000.0));
+        assert!(
+            matches!(p.strategy, PlannedStrategy::EagerXsub | PlannedStrategy::EagerDelta),
+            "expected eager for 12 occurrences, got {} \n{p}",
+            p.strategy
+        );
+        // Both eager candidates were costed.
+        assert!(p.candidates.len() >= 3);
+    }
+
+    #[test]
+    fn plan_display_lists_candidates() {
+        let p = plan(&hypo_query(3), &catalog(), &stats(100.0, 100.0));
+        let s = p.to_string();
+        assert!(s.contains("strategy:"));
+        assert!(s.contains("candidate"));
+    }
+
+    #[test]
+    fn planned_query_shape_matches_strategy() {
+        let p = plan(&hypo_query(12), &catalog(), &stats(1000.0, 1000.0));
+        match p.strategy {
+            PlannedStrategy::Lazy => assert!(p.query.is_pure()),
+            PlannedStrategy::EagerXsub | PlannedStrategy::Hybrid => {
+                assert!(hypoquery_core::is_enf_query(&p.query))
+            }
+            PlannedStrategy::EagerDelta => assert!(is_mod_enf(&p.query)),
+        }
+    }
+}

@@ -1,0 +1,577 @@
+//! The conventional relational-algebra equational theory, as a
+//! normalizing rewriter.
+//!
+//! The paper's lazy strategy ends with "then evaluate Q′ using conventional
+//! techniques" — this module is those techniques. It is also what makes the
+//! lazy derivations of Examples 2.1(b) and 2.4(b) *finish*: after `red`,
+//! algebraic simplification must discover that the residual query is empty
+//! without touching data.
+//!
+//! Rules implemented (all standard; soundness property-tested in
+//! `tests/ra_rewrites.rs`):
+//!
+//! * select: merge cascades, constant-fold, drop `σ_true`, kill
+//!   unsatisfiable selections, prune implied conjuncts;
+//! * empties: propagate `∅` through every operator;
+//! * idempotence / absorption: `X ∪ X ≡ X`, `X ∩ X ≡ X`, `X − X ≡ ∅`,
+//!   `X − σp(X) ≡ σ¬p(X)`, `σp(X) − X ≡ ∅`, `X ∩ σp(X) ≡ σp(X)`,
+//!   `X ∪ σp(X) ≡ X`;
+//! * products: `σp(X × Y) ≡ X ⋈p Y`, join-condition merging
+//!   `σp(X ⋈q Y) ≡ X ⋈_{q∧p} Y`;
+//! * projections: cascade merging, projection of singletons;
+//! * singletons: `σp({t})` decided at rewrite time;
+//! * canonical operand order for `∪`/`∩` (so syntactic equality finds
+//!   `X − X` after reordering).
+//!
+//! `when` nodes are treated as opaque: the rewriter descends into their
+//! bodies and bindings, but never moves anything across the scope boundary
+//! (that is EQUIV_when's job, in `hypoquery-core`).
+
+use hypoquery_algebra::{Predicate, Query, StateExpr};
+use hypoquery_storage::Catalog;
+
+use crate::implication::{conjoin, conjuncts, fold_pred, pred_unsat, prune_conjuncts};
+
+/// How many times each named rule fired during a rewrite.
+#[derive(Clone, Debug, Default)]
+pub struct RaTrace {
+    /// `(rule name, redex count)` pairs in first-fired order.
+    pub counts: Vec<(&'static str, usize)>,
+}
+
+impl RaTrace {
+    /// Record one firing of `rule`.
+    pub fn record(&mut self, rule: &'static str) {
+        match self.counts.iter_mut().find(|(r, _)| *r == rule) {
+            Some((_, n)) => *n += 1,
+            None => self.counts.push((rule, 1)),
+        }
+    }
+
+    /// Total number of rule firings.
+    pub fn total(&self) -> usize {
+        self.counts.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Firings of a specific rule.
+    pub fn count(&self, rule: &str) -> usize {
+        self.counts
+            .iter()
+            .find(|(r, _)| *r == rule)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+}
+
+/// Normalize a query with the RA equational theory. Works on full HQL
+/// queries (descending into `when` bodies and substitution bindings) but
+/// never crosses a `when` scope.
+///
+/// The catalog is needed to give the correct arity to `∅` nodes produced
+/// by emptiness rules.
+pub fn optimize(q: &Query, catalog: &Catalog) -> (Query, RaTrace) {
+    let mut trace = RaTrace::default();
+    let mut current = q.clone();
+    // Global fixpoint with a safety cap; each pass is a bottom-up rewrite.
+    for _ in 0..32 {
+        let next = rewrite_node(&current, catalog, &mut trace);
+        if next == current {
+            break;
+        }
+        current = next;
+    }
+    (current, trace)
+}
+
+/// Arity of a query assuming it is well-typed (used to type `∅` nodes).
+fn arity_of(q: &Query, catalog: &Catalog) -> usize {
+    hypoquery_algebra::typing::arity_of(q, catalog)
+        .expect("optimizer inputs are type-checked")
+}
+
+fn rewrite_node(q: &Query, catalog: &Catalog, trace: &mut RaTrace) -> Query {
+    // Bottom-up: rewrite children first...
+    let node = match q.clone() {
+        Query::When(body, eta) => {
+            let body = rewrite_node(&body, catalog, trace);
+            let eta = match *eta {
+                StateExpr::Subst(eps) => StateExpr::Subst(
+                    eps.into_bindings()
+                        .into_iter()
+                        .map(|(n, bq)| (n, rewrite_node(&bq, catalog, trace)))
+                        .collect(),
+                ),
+                other => other,
+            };
+            body.when(eta)
+        }
+        other => other.map_subqueries(|sub| rewrite_node(&sub, catalog, trace)),
+    };
+    // ...then apply local rules at this node to a fixpoint.
+    let mut current = node;
+    loop {
+        match apply_local(&current, catalog, trace) {
+            Some(next) => current = next,
+            None => return current,
+        }
+    }
+}
+
+/// Try one local rule at the root; `Some(rewritten)` if any fired.
+fn apply_local(q: &Query, catalog: &Catalog, trace: &mut RaTrace) -> Option<Query> {
+    match q {
+        // ---- selections -------------------------------------------------
+        Query::Select(inner, p) => {
+            let folded = fold_pred(p);
+            if folded != *p {
+                trace.record("fold-predicate");
+                return Some((**inner).clone().select(folded));
+            }
+            if *p == Predicate::True {
+                trace.record("drop-select-true");
+                return Some((**inner).clone());
+            }
+            if pred_unsat(p) {
+                trace.record("select-unsat");
+                return Some(Query::empty(arity_of(q, catalog)));
+            }
+            let pruned = prune_conjuncts(p);
+            if pruned != *p {
+                trace.record("prune-conjuncts");
+                return Some((**inner).clone().select(pruned));
+            }
+            match &**inner {
+                Query::Select(inner2, p2) => {
+                    trace.record("merge-selects");
+                    let mut parts = conjuncts(p2);
+                    parts.extend(conjuncts(p));
+                    Some((**inner2).clone().select(conjoin(parts)))
+                }
+                Query::Empty { .. } => {
+                    trace.record("select-empty");
+                    Some((**inner).clone())
+                }
+                Query::Singleton(t) => {
+                    trace.record("select-singleton");
+                    if p.eval(t) {
+                        Some((**inner).clone())
+                    } else {
+                        Some(Query::empty(t.arity()))
+                    }
+                }
+                Query::Union(a, b) => {
+                    trace.record("push-select-union");
+                    Some(
+                        (**a).clone()
+                            .select(p.clone())
+                            .union((**b).clone().select(p.clone())),
+                    )
+                }
+                Query::Product(a, b) => {
+                    trace.record("product-to-join");
+                    Some((**a).clone().join((**b).clone(), p.clone()))
+                }
+                Query::Join(a, b, jp) => {
+                    trace.record("merge-select-into-join");
+                    let mut parts = conjuncts(jp);
+                    parts.extend(conjuncts(p));
+                    Some((**a).clone().join((**b).clone(), conjoin(parts)))
+                }
+                _ => None,
+            }
+        }
+
+        // ---- projections -----------------------------------------------
+        Query::Project(inner, cols) => match &**inner {
+            Query::Empty { .. } => {
+                trace.record("project-empty");
+                Some(Query::empty(cols.len()))
+            }
+            Query::Singleton(t) => {
+                trace.record("project-singleton");
+                Some(Query::singleton(t.project(cols)))
+            }
+            Query::Project(inner2, cols2) => {
+                trace.record("merge-projects");
+                let merged: Vec<usize> = cols.iter().map(|&c| cols2[c]).collect();
+                Some((**inner2).clone().project(merged))
+            }
+            _ => {
+                // Identity projection: π over all columns in order.
+                let a = arity_of(inner, catalog);
+                if cols.len() == a && cols.iter().enumerate().all(|(i, &c)| i == c) {
+                    trace.record("drop-identity-project");
+                    Some((**inner).clone())
+                } else {
+                    None
+                }
+            }
+        },
+
+        // ---- union / intersection / difference --------------------------
+        Query::Union(a, b) => {
+            if let Query::Empty { .. } = **a {
+                trace.record("union-empty");
+                return Some((**b).clone());
+            }
+            if let Query::Empty { .. } = **b {
+                trace.record("union-empty");
+                return Some((**a).clone());
+            }
+            if a == b {
+                trace.record("union-idempotent");
+                return Some((**a).clone());
+            }
+            // X ∪ σp(X) ≡ X
+            if let Query::Select(x, _) = &**b {
+                if x == a {
+                    trace.record("union-absorb-select");
+                    return Some((**a).clone());
+                }
+            }
+            if let Query::Select(x, _) = &**a {
+                if x == b {
+                    trace.record("union-absorb-select");
+                    return Some((**b).clone());
+                }
+            }
+            // Canonical operand order (∪ is commutative).
+            if a > b {
+                trace.record("order-union");
+                return Some((**b).clone().union((**a).clone()));
+            }
+            None
+        }
+        Query::Intersect(a, b) => {
+            if matches!(**a, Query::Empty { .. }) || matches!(**b, Query::Empty { .. }) {
+                trace.record("intersect-empty");
+                return Some(Query::empty(arity_of(q, catalog)));
+            }
+            if a == b {
+                trace.record("intersect-idempotent");
+                return Some((**a).clone());
+            }
+            // X ∩ σp(X) ≡ σp(X)
+            if let Query::Select(x, _) = &**b {
+                if x == a {
+                    trace.record("intersect-absorb-select");
+                    return Some((**b).clone());
+                }
+            }
+            if let Query::Select(x, _) = &**a {
+                if x == b {
+                    trace.record("intersect-absorb-select");
+                    return Some((**a).clone());
+                }
+            }
+            if a > b {
+                trace.record("order-intersect");
+                return Some((**b).clone().intersect((**a).clone()));
+            }
+            None
+        }
+        Query::Diff(a, b) => {
+            if let Query::Empty { .. } = **b {
+                trace.record("diff-empty-rhs");
+                return Some((**a).clone());
+            }
+            if let Query::Empty { .. } = **a {
+                trace.record("diff-empty-lhs");
+                return Some((**a).clone());
+            }
+            if a == b {
+                trace.record("diff-self");
+                return Some(Query::empty(arity_of(q, catalog)));
+            }
+            // X − σp(X) ≡ σ¬p(X)
+            if let Query::Select(x, p) = &**b {
+                if x == a {
+                    trace.record("diff-select-negate");
+                    return Some((**a).clone().select(p.negated()));
+                }
+            }
+            // σp(X) − X ≡ ∅
+            if let Query::Select(x, _) = &**a {
+                if x == b {
+                    trace.record("diff-select-subset");
+                    return Some(Query::empty(arity_of(q, catalog)));
+                }
+            }
+            None
+        }
+
+        // ---- product / join ----------------------------------------------
+        Query::Product(a, b) => {
+            if matches!(**a, Query::Empty { .. }) || matches!(**b, Query::Empty { .. }) {
+                trace.record("product-empty");
+                return Some(Query::empty(arity_of(q, catalog)));
+            }
+            None
+        }
+        Query::Join(a, b, p) => {
+            if matches!(**a, Query::Empty { .. }) || matches!(**b, Query::Empty { .. }) {
+                trace.record("join-empty");
+                return Some(Query::empty(arity_of(q, catalog)));
+            }
+            if pred_unsat(p) {
+                trace.record("join-unsat");
+                return Some(Query::empty(arity_of(q, catalog)));
+            }
+            let folded = fold_pred(p);
+            if folded != *p {
+                trace.record("fold-predicate");
+                return Some((**a).clone().join((**b).clone(), folded));
+            }
+            let pruned = prune_conjuncts(p);
+            if pruned != *p {
+                trace.record("prune-conjuncts");
+                return Some((**a).clone().join((**b).clone(), pruned));
+            }
+            // Push side-local conjuncts below the join: they filter one
+            // operand before the build/probe instead of every joined pair
+            // after it.
+            let left_arity = arity_of(a, catalog);
+            let mut left_only = Vec::new();
+            let mut right_only = Vec::new();
+            let mut cross = Vec::new();
+            for c in conjuncts(p) {
+                match (c.min_col(), c.max_col()) {
+                    (_, Some(max)) if max < left_arity => left_only.push(c),
+                    (Some(min), _) if min >= left_arity => {
+                        right_only.push(c.unshift(left_arity))
+                    }
+                    (None, None) => cross.push(c), // no columns: keep put
+                    _ => cross.push(c),
+                }
+            }
+            if !left_only.is_empty() || !right_only.is_empty() {
+                trace.record("push-select-into-join-operand");
+                let mut left = (**a).clone();
+                if !left_only.is_empty() {
+                    left = left.select(conjoin(left_only));
+                }
+                let mut right = (**b).clone();
+                if !right_only.is_empty() {
+                    right = right.select(conjoin(right_only));
+                }
+                return Some(left.join(right, conjoin(cross)));
+            }
+            None
+        }
+
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypoquery_algebra::CmpOp;
+    use hypoquery_storage::tuple;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare_arity("R", 2).unwrap();
+        c.declare_arity("S", 2).unwrap();
+        c
+    }
+
+    fn sel(col: usize, op: CmpOp, v: i64, q: Query) -> Query {
+        q.select(Predicate::col_cmp(col, op, v))
+    }
+
+    #[test]
+    fn diff_select_negation() {
+        // S − σ_{A<60}(S) → σ_{A≥60}(S)   (the Example 2.1(b) step)
+        let q = Query::base("S").diff(sel(0, CmpOp::Lt, 60, Query::base("S")));
+        let (out, trace) = optimize(&q, &catalog());
+        assert_eq!(out, sel(0, CmpOp::Ge, 60, Query::base("S")));
+        assert_eq!(trace.count("diff-select-negate"), 1);
+    }
+
+    #[test]
+    fn implied_select_cascade_collapses() {
+        // σ_{A>30}(σ_{A≥60}(S)) → σ_{A≥60}(S)
+        let q = sel(0, CmpOp::Gt, 30, sel(0, CmpOp::Ge, 60, Query::base("S")));
+        let (out, _) = optimize(&q, &catalog());
+        assert_eq!(out, sel(0, CmpOp::Ge, 60, Query::base("S")));
+    }
+
+    #[test]
+    fn example_2_1b_full_derivation() {
+        // (R ∪ σ_{A>30}(S − σ_{A<60}(S))) ⋈ (S − σ_{A<60}(S))
+        //   minus the same thing  →  ∅, with no data access.
+        let s_minus = Query::base("S").diff(sel(0, CmpOp::Lt, 60, Query::base("S")));
+        let branch = Query::base("R")
+            .union(sel(0, CmpOp::Gt, 30, s_minus.clone()))
+            .join(s_minus, Predicate::col_col(0, CmpOp::Eq, 2));
+        let q = branch.clone().diff(branch);
+        let (out, _) = optimize(&q, &catalog());
+        assert_eq!(out, Query::empty(4));
+    }
+
+    #[test]
+    fn example_2_1b_branch_simplifies_to_paper_form() {
+        // The single branch should simplify to
+        // (R ∪ σ_{A≥60}(S)) ⋈ σ_{A≥60}(S).
+        let s_minus = Query::base("S").diff(sel(0, CmpOp::Lt, 60, Query::base("S")));
+        let branch = Query::base("R")
+            .union(sel(0, CmpOp::Gt, 30, s_minus.clone()))
+            .join(s_minus, Predicate::col_col(0, CmpOp::Eq, 2));
+        let (out, _) = optimize(&branch, &catalog());
+        let expected = Query::base("R")
+            .union(sel(0, CmpOp::Ge, 60, Query::base("S")))
+            .join(
+                sel(0, CmpOp::Ge, 60, Query::base("S")),
+                Predicate::col_col(0, CmpOp::Eq, 2),
+            );
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn unsat_select_becomes_empty() {
+        let q = sel(0, CmpOp::Ge, 60, sel(0, CmpOp::Lt, 60, Query::base("S")));
+        let (out, _) = optimize(&q, &catalog());
+        assert_eq!(out, Query::empty(2));
+        // And the emptiness propagates through joins.
+        let j = q2_join(q);
+        let (out, _) = optimize(&j, &catalog());
+        assert_eq!(out, Query::empty(4));
+    }
+
+    fn q2_join(q: Query) -> Query {
+        Query::base("R").join(q, Predicate::True)
+    }
+
+    #[test]
+    fn union_intersect_canonical_order_and_idempotence() {
+        let q = Query::base("S").union(Query::base("R"));
+        let (out, _) = optimize(&q, &catalog());
+        assert_eq!(out, Query::base("R").union(Query::base("S")));
+
+        let q = Query::base("S").union(Query::base("S"));
+        let (out, _) = optimize(&q, &catalog());
+        assert_eq!(out, Query::base("S"));
+
+        let q = Query::base("S").intersect(sel(0, CmpOp::Gt, 1, Query::base("S")));
+        let (out, _) = optimize(&q, &catalog());
+        assert_eq!(out, sel(0, CmpOp::Gt, 1, Query::base("S")));
+    }
+
+    #[test]
+    fn product_select_becomes_join() {
+        let q = Query::base("R")
+            .product(Query::base("S"))
+            .select(Predicate::col_col(0, CmpOp::Eq, 2));
+        let (out, trace) = optimize(&q, &catalog());
+        assert_eq!(
+            out,
+            Query::base("R").join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2))
+        );
+        assert_eq!(trace.count("product-to-join"), 1);
+    }
+
+    #[test]
+    fn projection_rules() {
+        let q = Query::base("R").project([1, 0]).project([1]);
+        let (out, _) = optimize(&q, &catalog());
+        assert_eq!(out, Query::base("R").project([0]));
+
+        let q = Query::base("R").project([0, 1]);
+        let (out, _) = optimize(&q, &catalog());
+        assert_eq!(out, Query::base("R"));
+
+        let q = Query::singleton(tuple![1, 2]).project([1]);
+        let (out, _) = optimize(&q, &catalog());
+        assert_eq!(out, Query::singleton(tuple![2]));
+    }
+
+    #[test]
+    fn select_singleton_decided_statically() {
+        let q = sel(0, CmpOp::Gt, 5, Query::singleton(tuple![7, 0]));
+        let (out, _) = optimize(&q, &catalog());
+        assert_eq!(out, Query::singleton(tuple![7, 0]));
+        let q = sel(0, CmpOp::Gt, 5, Query::singleton(tuple![3, 0]));
+        let (out, _) = optimize(&q, &catalog());
+        assert_eq!(out, Query::empty(2));
+    }
+
+    #[test]
+    fn optimizer_descends_into_when() {
+        use hypoquery_algebra::{ExplicitSubst, StateExpr};
+        let binding = Query::base("S").diff(Query::base("S"));
+        let q = sel(0, CmpOp::Gt, 1, Query::base("R"))
+            .when(StateExpr::subst(ExplicitSubst::single("R", binding)));
+        let (out, _) = optimize(&q, &catalog());
+        match out {
+            Query::When(body, eta) => {
+                assert_eq!(*body, sel(0, CmpOp::Gt, 1, Query::base("R")));
+                let eps = eta.as_subst().unwrap();
+                assert_eq!(eps.get(&"R".into()), Some(&Query::empty(2)));
+            }
+            other => panic!("expected when, got {other}"),
+        }
+    }
+
+    #[test]
+    fn trace_accumulates() {
+        let q = Query::base("S").diff(sel(0, CmpOp::Lt, 60, Query::base("S")));
+        let (_, trace) = optimize(&q, &catalog());
+        assert!(trace.total() >= 1);
+        assert_eq!(trace.count("nonexistent-rule"), 0);
+    }
+}
+
+#[cfg(test)]
+mod pushdown_tests {
+    use super::*;
+    use hypoquery_algebra::CmpOp;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare_arity("R", 2).unwrap();
+        c.declare_arity("S", 2).unwrap();
+        c
+    }
+
+    #[test]
+    fn side_local_conjuncts_push_below_join() {
+        // σ merged into the join, then split: #1<5 is left-only, #3>7 is
+        // right-only (rebased to #1), #0=#2 stays as the join condition.
+        let p = Predicate::col_col(0, CmpOp::Eq, 2)
+            .and(Predicate::col_cmp(1, CmpOp::Lt, 5))
+            .and(Predicate::col_cmp(3, CmpOp::Gt, 7));
+        let q = Query::base("R").join(Query::base("S"), p);
+        let (out, trace) = optimize(&q, &catalog());
+        let expected = Query::base("R")
+            .select(Predicate::col_cmp(1, CmpOp::Lt, 5))
+            .join(
+                Query::base("S").select(Predicate::col_cmp(1, CmpOp::Gt, 7)),
+                Predicate::col_col(0, CmpOp::Eq, 2),
+            );
+        assert_eq!(out, expected);
+        assert_eq!(trace.count("push-select-into-join-operand"), 1);
+    }
+
+    #[test]
+    fn select_above_join_lands_in_operands() {
+        // σ_{#1<5}(R ⋈ S) — merge-into-join then pushdown to the left
+        // operand.
+        let q = Query::base("R")
+            .join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2))
+            .select(Predicate::col_cmp(1, CmpOp::Lt, 5));
+        let (out, _) = optimize(&q, &catalog());
+        let expected = Query::base("R")
+            .select(Predicate::col_cmp(1, CmpOp::Lt, 5))
+            .join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2));
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn pure_cross_conjuncts_stay() {
+        let q = Query::base("R").join(Query::base("S"), Predicate::col_col(1, CmpOp::Lt, 2));
+        let (out, trace) = optimize(&q, &catalog());
+        assert_eq!(out, q);
+        assert_eq!(trace.count("push-select-into-join-operand"), 0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Cardinality statistics and a simple cost model.
+//!
+//! The paper leaves "techniques for estimating the cost of execution plans
+//! involving xsub-values and delta values" as future work (§6); what the
+//! planner needs today is a coarse, monotone estimator good enough to
+//! choose between lazy, eager-xsub and eager-delta shapes. We use textbook
+//! selectivity constants over exact base cardinalities.
+
+use std::collections::BTreeMap;
+
+use hypoquery_storage::{DatabaseState, RelName};
+
+use hypoquery_algebra::scope::dom_state_expr;
+use hypoquery_algebra::{CmpOp, Predicate, Query, StateExpr, Update};
+
+/// Selectivity assumed for equality predicates.
+pub const SEL_EQ: f64 = 0.1;
+/// Selectivity assumed for range predicates.
+pub const SEL_RANGE: f64 = 0.33;
+/// Selectivity assumed for inequality (`<>`) predicates.
+pub const SEL_NE: f64 = 0.9;
+/// Matching fraction assumed for join predicates beyond the equi-core.
+pub const SEL_JOIN: f64 = 0.1;
+
+/// Exact base-relation cardinalities, snapshotted from a state.
+#[derive(Clone, Debug, Default)]
+pub struct Statistics {
+    cards: BTreeMap<RelName, f64>,
+}
+
+impl Statistics {
+    /// Snapshot cardinalities from a database state.
+    pub fn of(db: &DatabaseState) -> Self {
+        let mut cards = BTreeMap::new();
+        for (name, schema) in db.catalog().iter() {
+            let _ = schema;
+            if let Ok(rel) = db.get(name) {
+                cards.insert(name.clone(), rel.len() as f64);
+            }
+        }
+        Statistics { cards }
+    }
+
+    /// Build from explicit `(name, cardinality)` pairs.
+    pub fn from_cards(cards: impl IntoIterator<Item = (RelName, f64)>) -> Self {
+        Statistics { cards: cards.into_iter().collect() }
+    }
+
+    /// Cardinality of a base relation (0 if unknown).
+    pub fn card(&self, name: &RelName) -> f64 {
+        self.cards.get(name).copied().unwrap_or(0.0)
+    }
+}
+
+/// Estimated selectivity of a predicate.
+pub fn selectivity(p: &Predicate) -> f64 {
+    match p {
+        Predicate::True => 1.0,
+        Predicate::False => 0.0,
+        Predicate::Cmp(_, CmpOp::Eq, _) => SEL_EQ,
+        Predicate::Cmp(_, CmpOp::Ne, _) => SEL_NE,
+        Predicate::Cmp(_, _, _) => SEL_RANGE,
+        Predicate::And(a, b) => selectivity(a) * selectivity(b),
+        Predicate::Or(a, b) => {
+            let (sa, sb) = (selectivity(a), selectivity(b));
+            (sa + sb - sa * sb).min(1.0)
+        }
+        Predicate::Not(a) => 1.0 - selectivity(a),
+    }
+}
+
+/// Estimated output cardinality of a query.
+///
+/// `when` bodies are estimated as if the hypothetical update left
+/// cardinalities unchanged, except that names bound by the state
+/// expression are re-estimated from the binding/update shape — coarse, but
+/// monotone in the base sizes, which is all the planner relies on.
+pub fn estimate_rows(q: &Query, stats: &Statistics) -> f64 {
+    match q {
+        Query::Base(name) => stats.card(name),
+        Query::Singleton(_) => 1.0,
+        Query::Empty { .. } => 0.0,
+        Query::Select(inner, p) => estimate_rows(inner, stats) * selectivity(p),
+        Query::Project(inner, _) => estimate_rows(inner, stats),
+        Query::Union(a, b) => estimate_rows(a, stats) + estimate_rows(b, stats),
+        Query::Intersect(a, b) => estimate_rows(a, stats).min(estimate_rows(b, stats)),
+        Query::Diff(a, _) => estimate_rows(a, stats),
+        Query::Product(a, b) => estimate_rows(a, stats) * estimate_rows(b, stats),
+        Query::Join(a, b, p) => {
+            let (l, r) = (estimate_rows(a, stats), estimate_rows(b, stats));
+            // Equi-joins get the textbook foreign-key estimate
+            // max(|L|, |R|); pure theta-joins fall back to a selectivity
+            // fraction of the cross product.
+            let has_equi = crate::implication::conjuncts(p).iter().any(|c| {
+                matches!(
+                    c,
+                    Predicate::Cmp(
+                        hypoquery_algebra::ScalarExpr::Col(_),
+                        CmpOp::Eq,
+                        hypoquery_algebra::ScalarExpr::Col(_)
+                    )
+                )
+            });
+            if has_equi {
+                l.max(r)
+            } else {
+                l * r * selectivity(p).max(SEL_JOIN / 10.0)
+            }
+        }
+        Query::When(inner, eta) => {
+            let adjusted = adjust_stats_for_state(eta, stats);
+            estimate_rows(inner, &adjusted)
+        }
+        Query::Aggregate { input, group_by, .. } => {
+            let n = estimate_rows(input, stats);
+            if group_by.is_empty() {
+                n.min(1.0)
+            } else {
+                // Assume grouping reduces to ~sqrt of the input.
+                n.sqrt().max(1.0).min(n)
+            }
+        }
+    }
+}
+
+/// Re-estimate base cardinalities under a hypothetical state expression.
+pub fn adjust_stats_for_state(eta: &StateExpr, stats: &Statistics) -> Statistics {
+    let mut out = stats.clone();
+    match eta {
+        StateExpr::Update(u) => adjust_for_update(u, &mut out),
+        StateExpr::Subst(eps) => {
+            for (name, bq) in eps.iter() {
+                let est = estimate_rows(bq, stats);
+                out.cards.insert(name.clone(), est);
+            }
+        }
+        StateExpr::Compose(a, b) => {
+            out = adjust_stats_for_state(a, &out);
+            out = adjust_stats_for_state(b, &out);
+        }
+    }
+    out
+}
+
+fn adjust_for_update(u: &Update, stats: &mut Statistics) {
+    match u {
+        Update::Insert(name, q) => {
+            let added = estimate_rows(q, stats);
+            let cur = stats.card(name);
+            stats.cards.insert(name.clone(), cur + added);
+        }
+        Update::Delete(name, q) => {
+            let removed = estimate_rows(q, stats);
+            let cur = stats.card(name);
+            stats.cards.insert(name.clone(), (cur - removed).max(0.0));
+        }
+        Update::Seq(a, b) => {
+            adjust_for_update(a, stats);
+            adjust_for_update(b, stats);
+        }
+        Update::Cond { then_u, .. } => {
+            // Assume the then-branch; good enough for sizing.
+            adjust_for_update(then_u, stats);
+        }
+    }
+}
+
+/// Estimated evaluation *cost* of a pure query: total tuples flowing
+/// through all operators (a unit-cost-per-tuple model).
+pub fn estimate_cost(q: &Query, stats: &Statistics) -> f64 {
+    match q {
+        Query::Base(name) => stats.card(name),
+        Query::Singleton(_) | Query::Empty { .. } => 1.0,
+        Query::Select(inner, _) | Query::Project(inner, _) => {
+            estimate_cost(inner, stats) + estimate_rows(inner, stats)
+        }
+        Query::Union(a, b) | Query::Intersect(a, b) | Query::Diff(a, b) => {
+            estimate_cost(a, stats)
+                + estimate_cost(b, stats)
+                + estimate_rows(a, stats)
+                + estimate_rows(b, stats)
+        }
+        Query::Product(a, b) => {
+            estimate_cost(a, stats)
+                + estimate_cost(b, stats)
+                + estimate_rows(a, stats) * estimate_rows(b, stats)
+        }
+        Query::Join(a, b, _) => {
+            // Hash join: build + probe + output.
+            estimate_cost(a, stats)
+                + estimate_cost(b, stats)
+                + estimate_rows(a, stats)
+                + estimate_rows(b, stats)
+                + estimate_rows(q, stats)
+        }
+        Query::When(inner, eta) => {
+            // Lazy view of a when: cost of the body under adjusted stats
+            // plus the cost of the state's bindings once.
+            let adjusted = adjust_stats_for_state(eta, stats);
+            estimate_cost(inner, &adjusted) + state_materialization_cost(eta, stats)
+        }
+        Query::Aggregate { input, .. } => {
+            estimate_cost(input, stats) + estimate_rows(input, stats)
+        }
+    }
+}
+
+/// Estimated cost of materializing a state expression (the eager
+/// strategy's up-front payment): evaluating every binding/update query.
+pub fn state_materialization_cost(eta: &StateExpr, stats: &Statistics) -> f64 {
+    match eta {
+        StateExpr::Update(u) => update_cost(u, stats),
+        StateExpr::Subst(eps) => eps
+            .iter()
+            .map(|(_, bq)| estimate_cost(bq, stats) + estimate_rows(bq, stats))
+            .sum(),
+        StateExpr::Compose(a, b) => {
+            state_materialization_cost(a, stats)
+                + state_materialization_cost(b, &adjust_stats_for_state(a, stats))
+        }
+    }
+}
+
+fn update_cost(u: &Update, stats: &Statistics) -> f64 {
+    match u {
+        Update::Insert(_, q) | Update::Delete(_, q) => {
+            estimate_cost(q, stats) + estimate_rows(q, stats)
+        }
+        Update::Seq(a, b) => {
+            let mut s = stats.clone();
+            adjust_for_update(a, &mut s);
+            update_cost(a, stats) + update_cost(b, &s)
+        }
+        Update::Cond { guard, then_u, else_u } => {
+            estimate_cost(guard, stats)
+                + update_cost(then_u, stats).max(update_cost(else_u, stats))
+        }
+    }
+}
+
+/// Count occurrences of any of the given names as base references in a
+/// query — the Example 2.1(c) heuristic signal: many occurrences of
+/// affected relations favor eager materialization.
+pub fn count_occurrences(q: &Query, names: &std::collections::BTreeSet<RelName>) -> usize {
+    match q {
+        Query::Base(name) => usize::from(names.contains(name)),
+        Query::Singleton(_) | Query::Empty { .. } => 0,
+        Query::Select(inner, _) | Query::Project(inner, _) => count_occurrences(inner, names),
+        Query::Union(a, b)
+        | Query::Intersect(a, b)
+        | Query::Product(a, b)
+        | Query::Join(a, b, _)
+        | Query::Diff(a, b) => count_occurrences(a, names) + count_occurrences(b, names),
+        Query::When(inner, eta) => {
+            // Occurrences under an inner when that rebinds the name do not
+            // read the outer hypothetical state.
+            let inner_dom = dom_state_expr(eta);
+            let visible: std::collections::BTreeSet<RelName> =
+                names.difference(&inner_dom).cloned().collect();
+            count_occurrences(inner, &visible)
+        }
+        Query::Aggregate { input, .. } => count_occurrences(input, names),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypoquery_algebra::{ExplicitSubst, Predicate};
+    use hypoquery_storage::{tuple, Catalog};
+
+    fn stats() -> Statistics {
+        Statistics::from_cards([
+            ("R".into(), 1000.0),
+            ("S".into(), 100.0),
+        ])
+    }
+
+    #[test]
+    fn snapshot_from_state() {
+        let mut cat = Catalog::new();
+        cat.declare_arity("R", 1).unwrap();
+        let mut db = DatabaseState::new(cat);
+        db.insert_rows("R", [tuple![1], tuple![2]]).unwrap();
+        let s = Statistics::of(&db);
+        assert_eq!(s.card(&"R".into()), 2.0);
+        assert_eq!(s.card(&"Z".into()), 0.0);
+    }
+
+    #[test]
+    fn selectivity_shapes() {
+        let eq = Predicate::col_cmp(0, CmpOp::Eq, 1);
+        let range = Predicate::col_cmp(0, CmpOp::Lt, 1);
+        assert!(selectivity(&eq) < selectivity(&range));
+        assert!(selectivity(&eq.clone().and(range.clone())) < selectivity(&eq));
+        assert!(selectivity(&eq.clone().or(range.clone())) > selectivity(&eq));
+        assert_eq!(selectivity(&Predicate::True), 1.0);
+        assert_eq!(selectivity(&Predicate::False), 0.0);
+    }
+
+    #[test]
+    fn row_estimates_are_monotone_in_base_size() {
+        let st = stats();
+        let q = Query::base("R").select(Predicate::col_cmp(0, CmpOp::Lt, 5));
+        let est = estimate_rows(&q, &st);
+        assert!(est > 0.0 && est < 1000.0);
+        let bigger = Statistics::from_cards([("R".into(), 10_000.0), ("S".into(), 100.0)]);
+        assert!(estimate_rows(&q, &bigger) > est);
+    }
+
+    #[test]
+    fn when_adjusts_cardinalities() {
+        let st = stats();
+        // R when {S/R}: R now looks like S (100 rows).
+        let eps = ExplicitSubst::single("R", Query::base("S"));
+        let q = Query::base("R").when(StateExpr::subst(eps));
+        assert_eq!(estimate_rows(&q, &st), 100.0);
+        // Insert grows the estimate.
+        let q = Query::base("R").when(StateExpr::update(Update::insert(
+            "R",
+            Query::base("S"),
+        )));
+        assert_eq!(estimate_rows(&q, &st), 1100.0);
+    }
+
+    #[test]
+    fn cost_grows_with_plan_size() {
+        let st = stats();
+        let scan = Query::base("R");
+        let join = Query::base("R").join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2));
+        assert!(estimate_cost(&join, &st) > estimate_cost(&scan, &st));
+    }
+
+    #[test]
+    fn occurrence_counting_respects_shadowing() {
+        let names: std::collections::BTreeSet<RelName> = [RelName::new("R")].into();
+        let q = Query::base("R").union(Query::base("R")).join(Query::base("S"), Predicate::True);
+        assert_eq!(count_occurrences(&q, &names), 2);
+        // An inner when that rebinds R shadows the outer hypothetical.
+        let inner = Query::base("R").when(StateExpr::subst(ExplicitSubst::single(
+            "R",
+            Query::base("S"),
+        )));
+        let q = Query::base("R").union(inner);
+        assert_eq!(count_occurrences(&q, &names), 1);
+    }
+
+    #[test]
+    fn materialization_cost_of_composition_accumulates() {
+        let st = stats();
+        let e1 = StateExpr::update(Update::insert("R", Query::base("S")));
+        let e2 = StateExpr::update(Update::delete("S", Query::base("S")));
+        let c = state_materialization_cost(&e1.clone().compose(e2.clone()), &st);
+        assert!(c >= state_materialization_cost(&e1, &st));
+        assert!(c >= state_materialization_cost(&e2, &st));
+    }
+}

@@ -1,0 +1,109 @@
+//! Soundness of the RA rewriter, the implication engine, and the planner:
+//! every transformation must preserve the direct semantics; every plan the
+//! planner emits must compute the same relation as the original query.
+
+use proptest::prelude::*;
+
+use hypoquery_core::is_mod_enf;
+use hypoquery_eval::{
+    algorithm_hql2, algorithm_hql3, eval_pure, eval_query,
+};
+use hypoquery_opt::implication::{pred_implies, pred_unsat};
+use hypoquery_opt::{optimize, plan, PlannedStrategy, Statistics};
+use hypoquery_testkit::{arb_db, arb_predicate, arb_pure_query, arb_query, arb_tuple, Universe};
+
+fn universe() -> Universe {
+    Universe::standard()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The RA rewriter preserves semantics on pure queries.
+    #[test]
+    fn optimize_preserves_semantics_pure(
+        q in arb_pure_query(&universe(), 2, 4),
+        db in arb_db(&universe(), 6),
+    ) {
+        let u = universe();
+        let (opt, _) = optimize(&q, &u.catalog);
+        prop_assert_eq!(
+            eval_pure(&opt, &db).unwrap(),
+            eval_pure(&q, &db).unwrap(),
+            "optimized {} != original {}", opt, q
+        );
+    }
+
+    /// ...and on full HQL queries (descending into when bodies/bindings).
+    #[test]
+    fn optimize_preserves_semantics_hql(
+        q in arb_query(&universe(), 2, 3),
+        db in arb_db(&universe(), 5),
+    ) {
+        let u = universe();
+        let (opt, _) = optimize(&q, &u.catalog);
+        prop_assert_eq!(
+            eval_query(&opt, &db).unwrap(),
+            eval_query(&q, &db).unwrap()
+        );
+    }
+
+    /// Claimed implications hold pointwise on random tuples.
+    #[test]
+    fn pred_implies_is_sound(
+        p in arb_predicate(2, 2),
+        q in arb_predicate(2, 2),
+        t in arb_tuple(2),
+    ) {
+        if pred_implies(&p, &q) && p.eval(&t) {
+            prop_assert!(q.eval(&t), "{} claimed to imply {} but fails on {}", p, q, t);
+        }
+    }
+
+    /// Claimed unsatisfiability holds pointwise.
+    #[test]
+    fn pred_unsat_is_sound(
+        p in arb_predicate(2, 2),
+        t in arb_tuple(2),
+    ) {
+        if pred_unsat(&p) {
+            prop_assert!(!p.eval(&t), "{} claimed unsat but holds on {}", p, t);
+        }
+    }
+
+    /// Every plan the planner chooses computes the right answer when
+    /// executed by its matching engine.
+    #[test]
+    fn plans_execute_correctly(
+        q in arb_query(&universe(), 2, 3),
+        db in arb_db(&universe(), 5),
+    ) {
+        let u = universe();
+        let stats = Statistics::of(&db);
+        let p = plan(&q, &u.catalog, &stats);
+        let expected = eval_query(&q, &db).unwrap();
+        let got = match p.strategy {
+            PlannedStrategy::Lazy => eval_pure(&p.query, &db).unwrap(),
+            PlannedStrategy::EagerXsub | PlannedStrategy::Hybrid => {
+                algorithm_hql2(&p.query, &db).unwrap()
+            }
+            PlannedStrategy::EagerDelta => {
+                prop_assert!(is_mod_enf(&p.query));
+                algorithm_hql3(&p.query, &db).unwrap()
+            }
+        };
+        prop_assert_eq!(got, expected, "strategy {} on {}", p.strategy, q);
+    }
+
+    /// The optimizer is idempotent: a second pass changes nothing.
+    #[test]
+    fn optimize_is_idempotent(
+        q in arb_pure_query(&universe(), 2, 3),
+    ) {
+        let u = universe();
+        let (once, _) = optimize(&q, &u.catalog);
+        let (twice, trace) = optimize(&once, &u.catalog);
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(trace.total(), 0, "second pass fired rules on {}", once);
+    }
+}

@@ -1,0 +1,369 @@
+//! Emit HQL expressions back into parseable surface syntax.
+//!
+//! `Display` on the AST types uses the paper's mathematical notation
+//! (σ, π, ⋈, ∪, …); this module emits the ASCII surface grammar instead,
+//! with the invariant — property-tested in `tests/roundtrip.rs` — that
+//! `parse_query(unparse_query(q)) == q` for every well-formed query whose
+//! relation names are not keywords.
+
+use std::fmt::Write;
+
+use hypoquery_storage::Value;
+
+use hypoquery_algebra::{
+    AggExpr, CmpOp, Predicate, Query, ScalarExpr, StateExpr, Update,
+};
+
+/// Render a query in surface syntax.
+pub fn unparse_query(q: &Query) -> String {
+    let mut out = String::new();
+    query(q, &mut out);
+    out
+}
+
+/// Render an update in surface syntax.
+pub fn unparse_update(u: &Update) -> String {
+    let mut out = String::new();
+    update(u, &mut out);
+    out
+}
+
+/// Render a hypothetical-state expression in surface syntax.
+pub fn unparse_state_expr(eta: &StateExpr) -> String {
+    let mut out = String::new();
+    state(eta, &mut out);
+    out
+}
+
+/// Render a predicate in surface syntax.
+pub fn unparse_predicate(p: &Predicate) -> String {
+    let mut out = String::new();
+    pred(p, &mut out);
+    out
+}
+
+fn query(q: &Query, out: &mut String) {
+    match q {
+        Query::Base(name) => {
+            let _ = write!(out, "{name}");
+        }
+        Query::Singleton(t) => {
+            out.push_str("row(");
+            for (i, v) in t.fields().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                value(v, out);
+            }
+            out.push(')');
+        }
+        Query::Empty { arity } => {
+            let _ = write!(out, "empty({arity})");
+        }
+        Query::Select(inner, p) => {
+            out.push_str("select ");
+            pred(p, out);
+            out.push_str(" (");
+            query(inner, out);
+            out.push(')');
+        }
+        Query::Project(inner, cols) => {
+            out.push_str("project ");
+            for (i, c) in cols.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{c}");
+            }
+            if !cols.is_empty() {
+                out.push(' ');
+            }
+            out.push('(');
+            query(inner, out);
+            out.push(')');
+        }
+        Query::Union(a, b) => binary(a, "union", b, out),
+        Query::Intersect(a, b) => binary(a, "intersect", b, out),
+        Query::Diff(a, b) => binary(a, "except", b, out),
+        Query::Product(a, b) => binary(a, "times", b, out),
+        Query::Join(a, b, p) => {
+            out.push('(');
+            paren_query(a, out);
+            out.push_str(" join ");
+            paren_query(b, out);
+            out.push_str(" on ");
+            pred(p, out);
+            out.push(')');
+        }
+        Query::When(body, eta) => {
+            out.push('(');
+            paren_query(body, out);
+            out.push_str(" when ");
+            state(eta, out);
+            out.push(')');
+        }
+        Query::Aggregate { input, group_by, aggs } => {
+            out.push_str("aggregate [");
+            for (i, c) in group_by.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push_str("; ");
+            for (i, a) in aggs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                match a {
+                    AggExpr::Count => out.push_str("count"),
+                    AggExpr::Sum(c) => {
+                        let _ = write!(out, "sum {c}");
+                    }
+                    AggExpr::Min(c) => {
+                        let _ = write!(out, "min {c}");
+                    }
+                    AggExpr::Max(c) => {
+                        let _ = write!(out, "max {c}");
+                    }
+                }
+            }
+            out.push_str("] (");
+            query(input, out);
+            out.push(')');
+        }
+    }
+}
+
+fn binary(a: &Query, op: &str, b: &Query, out: &mut String) {
+    out.push('(');
+    paren_query(a, out);
+    let _ = write!(out, " {op} ");
+    paren_query(b, out);
+    out.push(')');
+}
+
+/// Operands of binary operators and `when` bodies are emitted
+/// parenthesized unless they are leaf factors, so precedence never
+/// matters.
+fn paren_query(q: &Query, out: &mut String) {
+    match q {
+        Query::Base(_)
+        | Query::Singleton(_)
+        | Query::Empty { .. }
+        | Query::Select(_, _)
+        | Query::Project(_, _)
+        | Query::Aggregate { .. } => query(q, out),
+        _ => {
+            query(q, out);
+        }
+    }
+}
+
+fn state(eta: &StateExpr, out: &mut String) {
+    match eta {
+        StateExpr::Update(u) => {
+            out.push('{');
+            update(u, out);
+            out.push('}');
+        }
+        StateExpr::Subst(eps) => {
+            out.push('{');
+            for (i, (name, q)) in eps.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                paren_binding(q, out);
+                let _ = write!(out, " / {name}");
+            }
+            out.push('}');
+        }
+        StateExpr::Compose(a, b) => {
+            out.push('(');
+            state(a, out);
+            out.push_str(" # ");
+            state(b, out);
+            out.push(')');
+        }
+    }
+}
+
+/// A substitution binding's query must not swallow the following `/`;
+/// wrapping in parentheses keeps the grammar unambiguous.
+fn paren_binding(q: &Query, out: &mut String) {
+    out.push('(');
+    query(q, out);
+    out.push(')');
+}
+
+fn update(u: &Update, out: &mut String) {
+    match u {
+        Update::Insert(r, q) => {
+            let _ = write!(out, "insert into {r} (");
+            query(q, out);
+            out.push(')');
+        }
+        Update::Delete(r, q) => {
+            let _ = write!(out, "delete from {r} (");
+            query(q, out);
+            out.push(')');
+        }
+        Update::Seq(a, b) => {
+            // `;` parses left-associatively; parenthesize a right-nested
+            // sequence so the tree structure round-trips exactly.
+            update(a, out);
+            out.push_str("; ");
+            if matches!(**b, Update::Seq(_, _)) {
+                out.push('(');
+                update(b, out);
+                out.push(')');
+            } else {
+                update(b, out);
+            }
+        }
+        Update::Cond { guard, then_u, else_u } => {
+            out.push_str("if ");
+            query(guard, out);
+            out.push_str(" then ");
+            update(then_u, out);
+            out.push_str(" else ");
+            update(else_u, out);
+            out.push_str(" end");
+        }
+    }
+}
+
+fn pred(p: &Predicate, out: &mut String) {
+    match p {
+        Predicate::True => out.push_str("true"),
+        Predicate::False => out.push_str("false"),
+        Predicate::Cmp(a, op, b) => {
+            scalar(a, out);
+            let opstr = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "<>",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            let _ = write!(out, " {opstr} ");
+            scalar(b, out);
+        }
+        Predicate::And(a, b) => {
+            out.push('(');
+            pred(a, out);
+            out.push_str(" and ");
+            pred(b, out);
+            out.push(')');
+        }
+        Predicate::Or(a, b) => {
+            out.push('(');
+            pred(a, out);
+            out.push_str(" or ");
+            pred(b, out);
+            out.push(')');
+        }
+        Predicate::Not(a) => {
+            out.push_str("not (");
+            pred(a, out);
+            out.push(')');
+        }
+    }
+}
+
+fn scalar(s: &ScalarExpr, out: &mut String) {
+    match s {
+        ScalarExpr::Col(i) => {
+            let _ = write!(out, "#{i}");
+        }
+        ScalarExpr::Const(v) => value(v, out),
+    }
+}
+
+fn value(v: &Value, out: &mut String) {
+    match v {
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Str(s) => {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, parse_state_expr, parse_update};
+    use hypoquery_storage::tuple;
+
+    #[test]
+    fn simple_roundtrips() {
+        let cases = [
+            Query::base("R"),
+            Query::singleton(tuple![1, "a", true]),
+            Query::empty(3),
+            Query::base("R").select(Predicate::col_cmp(0, CmpOp::Ge, 60)),
+            Query::base("R").project([1, 0]),
+            Query::base("R").project(Vec::<usize>::new()),
+            Query::base("R").union(Query::base("S")).diff(Query::base("T")),
+            Query::base("R").join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2)),
+            Query::base("R").aggregate([0], [AggExpr::Count, AggExpr::Sum(1)]),
+        ];
+        for q in cases {
+            let src = unparse_query(&q);
+            let back = parse_query(&src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert_eq!(back, q, "source: {src}");
+        }
+    }
+
+    #[test]
+    fn hypothetical_roundtrips() {
+        let eta = StateExpr::update(
+            Update::insert("R", Query::base("S"))
+                .then(Update::delete("S", Query::base("S"))),
+        );
+        let q = Query::base("R").when(eta.clone()).when(StateExpr::subst(
+            hypoquery_algebra::ExplicitSubst::single(
+                "S",
+                Query::base("R").select(Predicate::col_cmp(1, CmpOp::Lt, 5)),
+            ),
+        ));
+        let src = unparse_query(&q);
+        assert_eq!(parse_query(&src).unwrap(), q, "source: {src}");
+
+        let comp = eta.clone().compose(eta);
+        let src = unparse_state_expr(&comp);
+        assert_eq!(parse_state_expr(&src).unwrap(), comp, "source: {src}");
+    }
+
+    #[test]
+    fn update_roundtrips() {
+        let u = Update::cond(
+            Query::base("V"),
+            Update::insert("R", Query::base("S")).then(Update::insert("T", Query::base("R"))),
+            Update::delete("R", Query::base("R")),
+        );
+        let src = unparse_update(&u);
+        assert_eq!(parse_update(&src).unwrap(), u, "source: {src}");
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let q = Query::singleton(tuple![r#"a"b\c"#]);
+        let src = unparse_query(&q);
+        assert_eq!(parse_query(&src).unwrap(), q, "source: {src}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Parse/print round-trip: `parse(unparse(x)) == x` on random well-formed
+//! queries, updates and state expressions.
+
+use proptest::prelude::*;
+
+use hypoquery_parser::{parse_query, parse_state_expr, parse_update};
+use hypoquery_parser::{unparse_query, unparse_state_expr, unparse_update};
+use hypoquery_testkit::{arb_query, arb_state_expr, arb_update, Universe};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn query_roundtrip(q in arb_query(&Universe::standard(), 2, 4)) {
+        let src = unparse_query(&q);
+        let back = parse_query(&src)
+            .unwrap_or_else(|e| panic!("unparse produced unparseable source:\n{src}\n{e}"));
+        prop_assert_eq!(back, q, "source: {}", src);
+    }
+
+    #[test]
+    fn unary_query_roundtrip(q in arb_query(&Universe::standard(), 1, 4)) {
+        let src = unparse_query(&q);
+        prop_assert_eq!(parse_query(&src).unwrap(), q, "source: {}", src);
+    }
+
+    #[test]
+    fn update_roundtrip(u in arb_update(&Universe::standard(), 3)) {
+        let src = unparse_update(&u);
+        prop_assert_eq!(parse_update(&src).unwrap(), u, "source: {}", src);
+    }
+
+    #[test]
+    fn state_expr_roundtrip(eta in arb_state_expr(&Universe::standard(), 3)) {
+        let src = unparse_state_expr(&eta);
+        prop_assert_eq!(parse_state_expr(&src).unwrap(), eta, "source: {}", src);
+    }
+}

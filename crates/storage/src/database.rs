@@ -1,0 +1,207 @@
+//! Database states: total functions from relation names to relations.
+//!
+//! §3.1: "A (database) state is a function DB mapping every relation name
+//! S ∈ Σ to a relation DB(S) of the appropriate arity." Undeclared names are
+//! errors; declared names with no stored rows read as the empty relation of
+//! the catalog arity.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::schema::{Catalog, RelName};
+use crate::tuple::Tuple;
+
+/// A database state over a fixed [`Catalog`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DatabaseState {
+    catalog: Catalog,
+    rels: BTreeMap<RelName, Relation>,
+}
+
+impl DatabaseState {
+    /// The state mapping every declared relation to the empty relation.
+    pub fn new(catalog: Catalog) -> Self {
+        DatabaseState { catalog, rels: BTreeMap::new() }
+    }
+
+    /// The schema this state is over.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Read `DB(R)`. Errors if `R` is not declared.
+    pub fn get(&self, name: &RelName) -> Result<Relation, StorageError> {
+        let arity = self.catalog.arity(name)?;
+        Ok(self.rels.get(name).cloned().unwrap_or_else(|| Relation::empty(arity)))
+    }
+
+    /// Borrowing read of `DB(R)` when rows exist; `None` either means empty
+    /// or undeclared — use [`DatabaseState::get`] to distinguish.
+    pub fn get_ref(&self, name: &RelName) -> Option<&Relation> {
+        self.rels.get(name)
+    }
+
+    /// The functional update `DB[R ← V]` (§3.1): a new state identical to
+    /// this one except that `R` maps to `value`.
+    pub fn with_binding(
+        &self,
+        name: impl Into<RelName>,
+        value: Relation,
+    ) -> Result<DatabaseState, StorageError> {
+        let name = name.into();
+        let arity = self.catalog.arity(&name)?;
+        if value.arity() != arity {
+            return Err(StorageError::ArityMismatch {
+                context: "state binding",
+                expected: arity,
+                found: value.arity(),
+            });
+        }
+        let mut next = self.clone();
+        if value.is_empty() {
+            // Canonical form: a state is a *function*; an explicitly
+            // stored empty relation and an absent one are the same state,
+            // and PartialEq should agree.
+            next.rels.remove(&name);
+        } else {
+            next.rels.insert(name, value);
+        }
+        Ok(next)
+    }
+
+    /// In-place variant of [`DatabaseState::with_binding`].
+    pub fn set(
+        &mut self,
+        name: impl Into<RelName>,
+        value: Relation,
+    ) -> Result<(), StorageError> {
+        let name = name.into();
+        let arity = self.catalog.arity(&name)?;
+        if value.arity() != arity {
+            return Err(StorageError::ArityMismatch {
+                context: "state binding",
+                expected: arity,
+                found: value.arity(),
+            });
+        }
+        if value.is_empty() {
+            self.rels.remove(&name);
+        } else {
+            self.rels.insert(name, value);
+        }
+        Ok(())
+    }
+
+    /// Insert one tuple into `R` (load helper for tests/examples/benches).
+    pub fn insert_row(
+        &mut self,
+        name: impl Into<RelName>,
+        row: Tuple,
+    ) -> Result<(), StorageError> {
+        let name = name.into();
+        let arity = self.catalog.arity(&name)?;
+        let rel = self
+            .rels
+            .entry(name)
+            .or_insert_with(|| Relation::empty(arity));
+        rel.insert(row)?;
+        Ok(())
+    }
+
+    /// Bulk-load rows into `R`.
+    pub fn insert_rows(
+        &mut self,
+        name: impl Into<RelName> + Clone,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<(), StorageError> {
+        let name = name.into();
+        for row in rows {
+            self.insert_row(name.clone(), row)?;
+        }
+        Ok(())
+    }
+
+    /// Total number of stored tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.rels.values().map(Relation::len).sum()
+    }
+
+    /// Iterate over (name, relation) pairs that have stored rows.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelName, &Relation)> {
+        self.rels.iter()
+    }
+}
+
+impl fmt::Display for DatabaseState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, schema) in self.catalog.iter() {
+            let rel = self
+                .rels
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| Relation::empty(schema.arity));
+            writeln!(f, "{name}/{} = {rel}", schema.arity)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn cat() -> Catalog {
+        let mut c = Catalog::new();
+        c.declare_arity("R", 2).unwrap();
+        c.declare_arity("S", 1).unwrap();
+        c
+    }
+
+    #[test]
+    fn fresh_state_reads_empty() {
+        let db = DatabaseState::new(cat());
+        let r = db.get(&"R".into()).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.arity(), 2);
+        assert!(db.get(&"Z".into()).is_err());
+    }
+
+    #[test]
+    fn with_binding_is_functional() {
+        let db = DatabaseState::new(cat());
+        let v = Relation::from_rows(2, [tuple![1, 2]]).unwrap();
+        let db2 = db.with_binding("R", v.clone()).unwrap();
+        assert!(db.get(&"R".into()).unwrap().is_empty());
+        assert_eq!(db2.get(&"R".into()).unwrap(), v);
+        // Other names unchanged.
+        assert!(db2.get(&"S".into()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn binding_checks_arity_and_declaration() {
+        let db = DatabaseState::new(cat());
+        assert!(db.with_binding("R", Relation::empty(3)).is_err());
+        assert!(db.with_binding("Z", Relation::empty(1)).is_err());
+    }
+
+    #[test]
+    fn insert_rows_accumulates() {
+        let mut db = DatabaseState::new(cat());
+        db.insert_rows("S", [tuple![1], tuple![2], tuple![1]]).unwrap();
+        assert_eq!(db.get(&"S".into()).unwrap().len(), 2);
+        assert_eq!(db.total_tuples(), 2);
+        assert!(db.insert_row("S", tuple![1, 2]).is_err());
+    }
+
+    #[test]
+    fn display_lists_catalog_order() {
+        let mut db = DatabaseState::new(cat());
+        db.insert_row("S", tuple![5]).unwrap();
+        let s = db.to_string();
+        assert!(s.contains("R/2 = {}"));
+        assert!(s.contains("S/1 = {(5)}"));
+    }
+}

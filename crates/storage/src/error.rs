@@ -1,0 +1,60 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+use crate::schema::RelName;
+
+/// Errors raised by the storage layer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StorageError {
+    /// A tuple's arity did not match the relation's arity.
+    ArityMismatch {
+        /// What was being done when the mismatch was found.
+        context: &'static str,
+        /// Arity expected by the target.
+        expected: usize,
+        /// Arity actually supplied.
+        found: usize,
+    },
+    /// A relation name is not declared in the catalog.
+    UnknownRelation(RelName),
+    /// A relation name was declared twice with conflicting schemas.
+    DuplicateRelation(RelName),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ArityMismatch { context, expected, found } => {
+                write!(f, "arity mismatch in {context}: expected {expected}, found {found}")
+            }
+            StorageError::UnknownRelation(name) => {
+                write!(f, "unknown relation {name}")
+            }
+            StorageError::DuplicateRelation(name) => {
+                write!(f, "relation {name} declared more than once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::ArityMismatch { context: "insert", expected: 2, found: 3 };
+        assert_eq!(e.to_string(), "arity mismatch in insert: expected 2, found 3");
+        assert_eq!(
+            StorageError::UnknownRelation(RelName::new("R")).to_string(),
+            "unknown relation R"
+        );
+        assert_eq!(
+            StorageError::DuplicateRelation(RelName::new("R")).to_string(),
+            "relation R declared more than once"
+        );
+    }
+}

@@ -1,0 +1,296 @@
+//! Relations: finite sets of same-arity tuples.
+//!
+//! Set semantics, as in the paper. Backed by a `BTreeSet` so iteration is
+//! deterministic and already sorted — the sort-merge `join_when` operator in
+//! `hypoquery-eval` exploits this.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A relation: a set of tuples sharing one arity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation { arity, tuples: BTreeSet::new() }
+    }
+
+    /// Build a relation from rows, checking that every row has `arity`.
+    pub fn from_rows(
+        arity: usize,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, StorageError> {
+        let mut rel = Relation::empty(arity);
+        for row in rows {
+            rel.insert(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// Build a single-tuple relation (the paper's `{t}`).
+    pub fn singleton(t: Tuple) -> Self {
+        let arity = t.arity();
+        let mut tuples = BTreeSet::new();
+        tuples.insert(t);
+        Relation { arity, tuples }
+    }
+
+    /// This relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Whether `t` is a member.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Insert a tuple; errors if its arity differs. Returns whether the
+    /// tuple was newly inserted.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, StorageError> {
+        if t.arity() != self.arity {
+            return Err(StorageError::ArityMismatch {
+                context: "relation insert",
+                expected: self.arity,
+                found: t.arity(),
+            });
+        }
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Remove a tuple; returns whether it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// Iterate tuples in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Set union. Errors on arity mismatch.
+    pub fn union(&self, other: &Relation) -> Result<Relation, StorageError> {
+        self.check_same_arity(other, "union")?;
+        Ok(Relation {
+            arity: self.arity,
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Set intersection. Errors on arity mismatch.
+    pub fn intersect(&self, other: &Relation) -> Result<Relation, StorageError> {
+        self.check_same_arity(other, "intersection")?;
+        Ok(Relation {
+            arity: self.arity,
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Set difference (`self − other`). Errors on arity mismatch.
+    pub fn difference(&self, other: &Relation) -> Result<Relation, StorageError> {
+        self.check_same_arity(other, "difference")?;
+        Ok(Relation {
+            arity: self.arity,
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Cartesian product: arity is the sum of operand arities.
+    pub fn product(&self, other: &Relation) -> Relation {
+        let mut tuples = BTreeSet::new();
+        for a in &self.tuples {
+            for b in &other.tuples {
+                tuples.insert(a.concat(b));
+            }
+        }
+        Relation { arity: self.arity + other.arity, tuples }
+    }
+
+    /// Select: keep tuples satisfying `pred`.
+    pub fn select(&self, mut pred: impl FnMut(&Tuple) -> bool) -> Relation {
+        Relation {
+            arity: self.arity,
+            tuples: self.tuples.iter().filter(|t| pred(t)).cloned().collect::<BTreeSet<_>>(),
+        }
+    }
+
+    /// Project onto column positions. Errors if any position is out of range.
+    pub fn project(&self, cols: &[usize]) -> Result<Relation, StorageError> {
+        if let Some(&bad) = cols.iter().find(|&&c| c >= self.arity) {
+            return Err(StorageError::ArityMismatch {
+                context: "projection column out of range",
+                expected: self.arity,
+                found: bad,
+            });
+        }
+        Ok(Relation {
+            arity: cols.len(),
+            tuples: self.tuples.iter().map(|t| t.project(cols)).collect(),
+        })
+    }
+
+    fn check_same_arity(
+        &self,
+        other: &Relation,
+        context: &'static str,
+    ) -> Result<(), StorageError> {
+        if self.arity != other.arity {
+            return Err(StorageError::ArityMismatch {
+                context,
+                expected: self.arity,
+                found: other.arity,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    /// Collect tuples into a relation, inferring arity from the first tuple.
+    /// An empty iterator yields the 0-ary empty relation. Tuples whose arity
+    /// disagrees with the first are skipped — prefer [`Relation::from_rows`]
+    /// when mismatches should be errors.
+    fn from_iter<T: IntoIterator<Item = Tuple>>(iter: T) -> Self {
+        let mut it = iter.into_iter();
+        match it.next() {
+            None => Relation::empty(0),
+            Some(first) => {
+                let mut rel = Relation::singleton(first);
+                for t in it {
+                    let _ = rel.insert(t);
+                }
+                rel
+            }
+        }
+    }
+}
+
+/// Build an integer unary/short relation quickly in tests and examples:
+/// rows given as arrays of `Into<Value>`.
+pub fn rel_of<const N: usize>(rows: impl IntoIterator<Item = [Value; N]>) -> Relation {
+    let tuples = rows.into_iter().map(Tuple::new);
+    Relation::from_rows(N, tuples).expect("fixed-size rows have uniform arity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn r(rows: &[[i64; 2]]) -> Relation {
+        Relation::from_rows(2, rows.iter().map(|&[a, b]| tuple![a, b])).unwrap()
+    }
+
+    #[test]
+    fn insert_dedups_and_checks_arity() {
+        let mut rel = Relation::empty(2);
+        assert!(rel.insert(tuple![1, 2]).unwrap());
+        assert!(!rel.insert(tuple![1, 2]).unwrap());
+        assert_eq!(rel.len(), 1);
+        assert!(rel.insert(tuple![1]).is_err());
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = r(&[[1, 1], [2, 2], [3, 3]]);
+        let b = r(&[[2, 2], [4, 4]]);
+        assert_eq!(a.union(&b).unwrap().len(), 4);
+        assert_eq!(a.intersect(&b).unwrap(), r(&[[2, 2]]));
+        assert_eq!(a.difference(&b).unwrap(), r(&[[1, 1], [3, 3]]));
+    }
+
+    #[test]
+    fn set_operations_arity_mismatch() {
+        let a = Relation::empty(2);
+        let b = Relation::empty(3);
+        assert!(a.union(&b).is_err());
+        assert!(a.intersect(&b).is_err());
+        assert!(a.difference(&b).is_err());
+    }
+
+    #[test]
+    fn product_concatenates() {
+        let a = Relation::from_rows(1, [tuple![1], tuple![2]]).unwrap();
+        let b = Relation::from_rows(1, [tuple![10]]).unwrap();
+        let p = a.product(&b);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p, r(&[[1, 10], [2, 10]]));
+    }
+
+    #[test]
+    fn product_with_empty_is_empty() {
+        let a = r(&[[1, 1]]);
+        let e = Relation::empty(1);
+        assert!(a.product(&e).is_empty());
+        assert_eq!(a.product(&e).arity(), 3);
+    }
+
+    #[test]
+    fn select_filters() {
+        let a = r(&[[1, 10], [2, 20], [3, 30]]);
+        let out = a.select(|t| t[1].as_int().unwrap() >= 20);
+        assert_eq!(out, r(&[[2, 20], [3, 30]]));
+    }
+
+    #[test]
+    fn project_dedups() {
+        let a = r(&[[1, 10], [1, 20]]);
+        let out = a.project(&[0]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.arity(), 1);
+        assert!(a.project(&[5]).is_err());
+    }
+
+    #[test]
+    fn singleton_and_membership() {
+        let s = Relation::singleton(tuple![7, 8]);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&tuple![7, 8]));
+        assert!(!s.contains(&tuple![8, 7]));
+    }
+
+    #[test]
+    fn display_is_sorted() {
+        let a = r(&[[2, 2], [1, 1]]);
+        assert_eq!(a.to_string(), "{(1, 1), (2, 2)}");
+    }
+
+    #[test]
+    fn rel_of_helper() {
+        let a = rel_of([[Value::int(1), Value::int(2)]]);
+        assert_eq!(a.arity(), 2);
+        assert_eq!(a.len(), 1);
+    }
+}

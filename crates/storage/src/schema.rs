@@ -1,0 +1,212 @@
+//! Relation names and database schemas (the paper's Σ).
+//!
+//! A database schema is "a collection of relation names Σ = {S₁, …, Sₙ},
+//! each of a fixed arity" (§3.1). [`Catalog`] is exactly that, with optional
+//! attribute names carried along for friendlier surface syntax and output.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::StorageError;
+
+/// An interned relation name.
+///
+/// Cheap to clone (an `Arc<str>`), totally ordered so it can key `BTreeMap`s
+/// deterministically.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelName(Arc<str>);
+
+impl RelName {
+    /// Create a relation name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        RelName(Arc::from(name.as_ref()))
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for RelName {
+    fn from(s: &str) -> Self {
+        RelName::new(s)
+    }
+}
+
+impl From<String> for RelName {
+    fn from(s: String) -> Self {
+        RelName::new(s)
+    }
+}
+
+impl fmt::Display for RelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for RelName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Schema of a single relation: its arity, plus optional attribute names.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RelSchema {
+    /// Number of columns.
+    pub arity: usize,
+    /// Optional attribute names, one per column, used by the parser and
+    /// pretty-printers. `None` means columns are addressed by position only
+    /// (the paper's formal convention).
+    pub attrs: Option<Vec<String>>,
+}
+
+impl RelSchema {
+    /// Positional schema of the given arity.
+    pub fn positional(arity: usize) -> Self {
+        RelSchema { arity, attrs: None }
+    }
+
+    /// Named schema; arity is the number of attribute names.
+    pub fn named(attrs: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        RelSchema { arity: attrs.len(), attrs: Some(attrs) }
+    }
+
+    /// Resolve an attribute name to its column position.
+    pub fn position_of(&self, attr: &str) -> Option<usize> {
+        self.attrs.as_ref()?.iter().position(|a| a == attr)
+    }
+}
+
+/// A database schema Σ: a fixed, finite map from relation names to schemas.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Catalog {
+    rels: BTreeMap<RelName, RelSchema>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Declare a relation. Redeclaring with an identical schema is a no-op;
+    /// redeclaring with a different schema is an error.
+    pub fn declare(
+        &mut self,
+        name: impl Into<RelName>,
+        schema: RelSchema,
+    ) -> Result<(), StorageError> {
+        let name = name.into();
+        match self.rels.get(&name) {
+            Some(existing) if *existing != schema => {
+                Err(StorageError::DuplicateRelation(name))
+            }
+            _ => {
+                self.rels.insert(name, schema);
+                Ok(())
+            }
+        }
+    }
+
+    /// Convenience: declare a positional relation of the given arity.
+    pub fn declare_arity(
+        &mut self,
+        name: impl Into<RelName>,
+        arity: usize,
+    ) -> Result<(), StorageError> {
+        self.declare(name, RelSchema::positional(arity))
+    }
+
+    /// Schema of `name`, if declared.
+    pub fn schema(&self, name: &RelName) -> Option<&RelSchema> {
+        self.rels.get(name)
+    }
+
+    /// Arity of `name`, or an error if undeclared.
+    pub fn arity(&self, name: &RelName) -> Result<usize, StorageError> {
+        self.rels
+            .get(name)
+            .map(|s| s.arity)
+            .ok_or_else(|| StorageError::UnknownRelation(name.clone()))
+    }
+
+    /// Whether `name` is declared.
+    pub fn contains(&self, name: &RelName) -> bool {
+        self.rels.contains_key(name)
+    }
+
+    /// Iterate over declared relations in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&RelName, &RelSchema)> {
+        self.rels.iter()
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Whether no relations are declared.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.declare_arity("R", 2).unwrap();
+        cat.declare("S", RelSchema::named(["a", "b", "c"])).unwrap();
+        assert_eq!(cat.arity(&"R".into()).unwrap(), 2);
+        assert_eq!(cat.arity(&"S".into()).unwrap(), 3);
+        assert!(cat.contains(&"R".into()));
+        assert!(!cat.contains(&"T".into()));
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn redeclare_same_schema_ok_different_errors() {
+        let mut cat = Catalog::new();
+        cat.declare_arity("R", 2).unwrap();
+        cat.declare_arity("R", 2).unwrap();
+        assert_eq!(
+            cat.declare_arity("R", 3),
+            Err(StorageError::DuplicateRelation("R".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let cat = Catalog::new();
+        assert_eq!(
+            cat.arity(&"Z".into()),
+            Err(StorageError::UnknownRelation("Z".into()))
+        );
+    }
+
+    #[test]
+    fn named_schema_positions() {
+        let s = RelSchema::named(["id", "amount"]);
+        assert_eq!(s.arity, 2);
+        assert_eq!(s.position_of("amount"), Some(1));
+        assert_eq!(s.position_of("missing"), None);
+        assert_eq!(RelSchema::positional(2).position_of("x"), None);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut cat = Catalog::new();
+        cat.declare_arity("B", 1).unwrap();
+        cat.declare_arity("A", 1).unwrap();
+        let names: Vec<_> = cat.iter().map(|(n, _)| n.as_str().to_string()).collect();
+        assert_eq!(names, ["A", "B"]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Active database rules over hypothetical future states.
+//!
+//! The introduction cites "active databases (where rules may access the
+//! deltas and potential future states specified by proposed updates)".
+//! This example implements a tiny ECA (event-condition-action) engine on
+//! top of `hypoquery`: each rule's *condition* is a query evaluated in the
+//! hypothetical state `when {U}` of the proposed update, and its *action*
+//! extends the update. The fixpoint update is then applied once.
+//!
+//! Run with: `cargo run --example active_rules`
+
+use hypoquery::algebra::{Query, StateExpr, Update};
+use hypoquery::parser::{parse_query, parse_update};
+use hypoquery::storage::tuple;
+use hypoquery::{Database, Strategy};
+
+/// An active rule: if `condition` is non-empty in the proposed future
+/// state, append `action` to the update.
+struct Rule {
+    name: &'static str,
+    condition: Query,
+    action: Update,
+}
+
+/// Extend `proposed` with every triggered rule action, to a fixpoint.
+fn react(db: &Database, mut proposed: Update, rules: &[Rule]) -> Update {
+    // A rule fires at most once here (simple semantics; enough to show
+    // hypothetical-state access).
+    let mut fired = vec![false; rules.len()];
+    loop {
+        let mut changed = false;
+        for (i, rule) in rules.iter().enumerate() {
+            if fired[i] {
+                continue;
+            }
+            // Condition checked in the *potential future state* — a
+            // hypothetical query, never a real update.
+            let probe = rule
+                .condition
+                .clone()
+                .when(StateExpr::update(proposed.clone()));
+            let hits = db
+                .execute(&probe, Strategy::Auto)
+                .expect("rule conditions are well-typed");
+            if !hits.is_empty() {
+                println!(
+                    "rule `{}` fires ({} matching row(s)) — extending the update",
+                    rule.name,
+                    hits.len()
+                );
+                proposed = proposed.then(rule.action.clone());
+                fired[i] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return proposed;
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // parts: (part, qty); reorders: (part, amount); alerts: (part)
+    let mut db = Database::new();
+    db.define("parts", 2)?;
+    db.define("reorders", 2)?;
+    db.define("alerts", 1)?;
+    db.load("parts", [tuple![1, 12], tuple![2, 40], tuple![3, 7]])?;
+
+    let rules = vec![
+        // If any part would drop below 10 units, schedule a reorder.
+        Rule {
+            name: "low_stock_reorder",
+            condition: parse_query(
+                "project 0 (select #1 < 10 (parts)) except project 0 (reorders)",
+            )?,
+            action: parse_update(
+                "insert into reorders (project 0 (select #1 < 10 (parts)) times row(25))",
+            )?,
+        },
+        // If anything gets reordered, raise an alert for it.
+        Rule {
+            name: "reorder_alert",
+            condition: parse_query("project 0 (reorders) except alerts")?,
+            action: parse_update("insert into alerts (project 0 (reorders))")?,
+        },
+    ];
+
+    // A shipment consumes stock: part 1 drops by 8 (12 → 4).
+    let proposed = parse_update(
+        "delete from parts (row(1, 12)); insert into parts (row(1, 4))",
+    )?;
+
+    println!("proposed update: {proposed}\n");
+    let full = react(&db, proposed, &rules);
+    println!("\nfinal update after rules: {full}\n");
+
+    // Nothing has happened yet — all reasoning was hypothetical.
+    assert!(db.query("reorders")?.is_empty());
+    assert!(db.query("alerts")?.is_empty());
+
+    // Apply the extended update once.
+    db.apply_update(&full)?;
+    println!("parts:    {}", db.query("parts")?);
+    println!("reorders: {}", db.query("reorders")?);
+    println!("alerts:   {}", db.query("alerts")?);
+
+    // The cascade happened: part 1 and the already-low part 3 were
+    // reordered and alerted.
+    assert_eq!(db.query("reorders")?.len(), 2);
+    assert_eq!(db.query("alerts")?.len(), 2);
+    Ok(())
+}

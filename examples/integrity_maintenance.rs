@@ -1,0 +1,81 @@
+//! Integrity maintenance via hypothetical queries.
+//!
+//! The introduction lists integrity maintenance among the applications
+//! that "involve hypothetical database states": before applying an update,
+//! evaluate each constraint's violation query `when {U}` — i.e. in the
+//! state the update *would* produce — and abort if anything comes back.
+//! This is also the weakest-precondition connection of the related-work
+//! section: `violations when {U}` *is* the precondition check.
+//!
+//! Run with: `cargo run --example integrity_maintenance`
+
+use hypoquery::storage::tuple;
+use hypoquery::{Database, EngineError};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // accounts: (id, balance); transfers: (from, to)
+    let mut db = Database::new();
+    db.define("accounts", 2)?;
+    db.define("transfers", 2)?;
+    db.load("accounts", [tuple![1, 500], tuple![2, 300], tuple![3, 50]])?;
+
+    // Constraint 1: no negative balances.
+    db.add_constraint("non_negative", "select #1 < 0 (accounts)")?;
+    // Constraint 2: referential integrity — every transfer endpoint must
+    // be an account id (two one-sided checks).
+    db.add_constraint(
+        "transfer_from_exists",
+        "project 0, 1 (transfers) except project 0, 1 \
+         (transfers join accounts on #0 = #2)",
+    )?;
+    db.add_constraint(
+        "transfer_to_exists",
+        "project 0, 1 (transfers) except project 0, 1 \
+         (transfers join accounts on #1 = #2)",
+    )?;
+
+    // A legal update sails through.
+    db.execute_update("insert into transfers (row(1, 2))")?;
+    println!("ok:      recorded transfer 1→2");
+
+    // An update that would break referential integrity is rejected
+    // *before* touching the state — the check ran hypothetically.
+    match db.execute_update("insert into transfers (row(1, 99))") {
+        Err(EngineError::ConstraintViolation { constraint, violations }) => {
+            println!("aborted: transfer to unknown account (constraint `{constraint}`, {violations} violation(s))");
+        }
+        other => panic!("expected violation, got {other:?}"),
+    }
+
+    // A compound update can be fine even when its prefix is not: drain an
+    // account but also create the destination first. The constraint is
+    // checked against the *final* hypothetical state.
+    db.execute_update(
+        "insert into accounts (row(99, 0)); insert into transfers (row(2, 99))",
+    )?;
+    println!("ok:      account 99 created and transfer recorded in one update");
+
+    // Balance updates: debiting 100 from account 3 (balance 50) aborts...
+    match db.execute_update(
+        "delete from accounts (row(3, 50)); insert into accounts (row(3, -50))",
+    ) {
+        Err(EngineError::ConstraintViolation { constraint, .. }) => {
+            println!("aborted: overdraft on account 3 (constraint `{constraint}`)");
+        }
+        other => panic!("expected violation, got {other:?}"),
+    }
+    // ...and the state is exactly as before the attempt.
+    assert!(db.query("select #0 = 3 (accounts)")?.contains(&tuple![3, 50]));
+
+    // Conditional updates (a §6 extension) express the guarded version
+    // inside the update language itself: only debit if covered.
+    db.execute_update(
+        "if select #0 = 3 and #1 >= 100 (accounts) \
+         then delete from accounts (row(3, 50)); insert into accounts (row(3, -50)) \
+         else insert into transfers (row(3, 3)) end",
+    )?;
+    println!("ok:      guarded debit fell through to the else-branch");
+    println!("\nfinal accounts:  {}", db.query("accounts")?);
+    println!("final transfers: {}", db.query("transfers")?);
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! A versioned analyst workspace: named schemas, buffered transactions
+//! with savepoints, a prepared hypothetical state reused across a family
+//! of queries (Example 2.2 as an API), and dump/restore persistence.
+//!
+//! Run with: `cargo run --example versioned_workspace`
+
+use hypoquery::{Database, PreparedState, Transaction};
+use hypoquery::storage::tuple;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Named schemas: queries below use attribute names, not positions.
+    let mut db = Database::new();
+    db.define_named("trades", ["id", "amount"])?;
+    db.define_named("limits", ["trader", "cap"])?;
+    db.load(
+        "trades",
+        [tuple![1, 500], tuple![2, 1200], tuple![3, 80], tuple![4, 2500]],
+    )?;
+    db.load("limits", [tuple![1, 1000], tuple![2, 3000]])?;
+    db.add_constraint("positive_amounts", "select amount < 0 (trades)")?;
+
+    println!("{}", db.query_table("select amount >= 1000 (trades)")?);
+
+    // --- A buffered transaction with savepoints ------------------------
+    let mut tx = Transaction::begin();
+    tx.update(&db, "insert into trades (row(5, 700))")?;
+    tx.savepoint("after_booking")?;
+    tx.update(&db, "delete from trades (select amount < 100 (trades))")?;
+
+    // Reads inside the transaction see pending writes — hypothetically.
+    println!(
+        "inside tx:  {} trades (real state still has {})",
+        tx.query(&db, "trades")?.len(),
+        db.query("trades")?.len()
+    );
+
+    // Second thoughts about the cleanup: roll back to the savepoint.
+    tx.rollback_to("after_booking")?;
+    println!("rolled back to savepoint; {} pending update(s)", tx.len());
+    tx.commit(&mut db)?;
+    println!("committed:  {} trades\n", db.query("trades")?.len());
+
+    // --- A prepared hypothetical state, queried many times -------------
+    // "What if we cancelled all large trades?" — derive the composed
+    // substitution once, materialize once, run a family of analyses.
+    let mut whatif = PreparedState::parse(
+        &db,
+        "{delete from trades (select amount > 1000 (trades))}",
+    )?;
+    whatif.materialize(&db)?;
+    for q in [
+        "aggregate [; count, sum amount] (trades)",
+        "select amount >= 500 (trades)",
+        "trades join limits on id = trader",
+    ] {
+        println!("what-if {q:<44} -> {}", whatif.query_src(&db, q)?);
+    }
+
+    // --- Persistence -----------------------------------------------------
+    let path = std::env::temp_dir().join("hypoquery_workspace.hqldump");
+    std::fs::write(&path, db.dump())?;
+    let restored = Database::restore(&std::fs::read_to_string(&path)?)?;
+    assert_eq!(restored.query("trades")?, db.query("trades")?);
+    // Named columns survive the round-trip.
+    assert_eq!(
+        restored.query("select amount >= 1000 (trades)")?,
+        db.query("select amount >= 1000 (trades)")?
+    );
+    println!("\nsaved and restored from {}", path.display());
+    Ok(())
+}

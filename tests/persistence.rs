@@ -1,0 +1,17 @@
+//! Dump/load round-trip on random database states.
+
+use proptest::prelude::*;
+
+use hypoquery::storage::{dump_state, load_state};
+use hypoquery_testkit::{arb_db, Universe};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn dump_load_roundtrip(db in arb_db(&Universe::standard(), 8)) {
+        let text = dump_state(&db);
+        let back = load_state(&text).unwrap();
+        prop_assert_eq!(back, db);
+    }
+}
