@@ -36,10 +36,10 @@ pub fn attrs_of(q: &Query, catalog: &Catalog) -> Result<Vec<Option<String>>, Typ
             let input = attrs_of(inner, catalog)?;
             cols.iter()
                 .map(|&c| {
-                    input
-                        .get(c)
-                        .cloned()
-                        .ok_or(TypeError::ColumnOutOfRange { col: c, arity: input.len() })
+                    input.get(c).cloned().ok_or(TypeError::ColumnOutOfRange {
+                        col: c,
+                        arity: input.len(),
+                    })
                 })
                 .collect()
         }
@@ -69,7 +69,11 @@ pub fn attrs_of(q: &Query, catalog: &Catalog) -> Result<Vec<Option<String>>, Typ
             Ok(out)
         }
         Query::When(inner, _) => attrs_of(inner, catalog),
-        Query::Aggregate { input, group_by, aggs } => {
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let in_attrs = attrs_of(input, catalog)?;
             let mut out: Vec<Option<String>> = group_by
                 .iter()
@@ -102,9 +106,7 @@ fn agg_name(agg: &AggExpr, input: &[Option<String>]) -> String {
 /// Resolve an attribute name to a column position within inferred
 /// attributes. Returns the **first** matching column.
 pub fn position_of(attrs: &[Option<String>], name: &str) -> Option<usize> {
-    attrs
-        .iter()
-        .position(|a| a.as_deref() == Some(name))
+    attrs.iter().position(|a| a.as_deref() == Some(name))
 }
 
 #[cfg(test)]
@@ -115,8 +117,10 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.declare("emp", RelSchema::named(["id", "salary"])).unwrap();
-        c.declare("dept", RelSchema::named(["emp_id", "dept_id"])).unwrap();
+        c.declare("emp", RelSchema::named(["id", "salary"]))
+            .unwrap();
+        c.declare("dept", RelSchema::named(["emp_id", "dept_id"]))
+            .unwrap();
         c.declare_arity("anon", 2).unwrap();
         c
     }
@@ -128,7 +132,10 @@ mod tests {
             attrs_of(&Query::base("emp"), &c).unwrap(),
             vec![Some("id".into()), Some("salary".into())]
         );
-        assert_eq!(attrs_of(&Query::base("anon"), &c).unwrap(), vec![None, None]);
+        assert_eq!(
+            attrs_of(&Query::base("anon"), &c).unwrap(),
+            vec![None, None]
+        );
         assert!(attrs_of(&Query::base("nope"), &c).is_err());
     }
 
@@ -174,7 +181,11 @@ mod tests {
         let q = Query::base("emp").aggregate([0], [AggExpr::Count, AggExpr::Sum(1)]);
         assert_eq!(
             attrs_of(&q, &c).unwrap(),
-            vec![Some("id".into()), Some("count".into()), Some("sum_salary".into())]
+            vec![
+                Some("id".into()),
+                Some("count".into()),
+                Some("sum_salary".into())
+            ]
         );
     }
 

@@ -384,6 +384,9 @@ mod tests {
     fn display_forms() {
         let p = Predicate::col_cmp(0, CmpOp::Ge, 60);
         assert_eq!(p.to_string(), "#0 >= 60");
-        assert_eq!(p.clone().and(Predicate::True).to_string(), "(#0 >= 60 and true)");
+        assert_eq!(
+            p.clone().and(Predicate::True).to_string(),
+            "(#0 >= 60 and true)"
+        );
     }
 }

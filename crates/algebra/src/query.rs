@@ -138,8 +138,16 @@ impl Query {
     }
 
     /// Grouped aggregation over `self`.
-    pub fn aggregate(self, group_by: impl Into<Vec<usize>>, aggs: impl Into<Vec<AggExpr>>) -> Query {
-        Query::Aggregate { input: Box::new(self), group_by: group_by.into(), aggs: aggs.into() }
+    pub fn aggregate(
+        self,
+        group_by: impl Into<Vec<usize>>,
+        aggs: impl Into<Vec<AggExpr>>,
+    ) -> Query {
+        Query::Aggregate {
+            input: Box::new(self),
+            group_by: group_by.into(),
+            aggs: aggs.into(),
+        }
     }
 
     /// Whether this query is pure relational algebra — i.e. contains no
@@ -194,7 +202,11 @@ impl Query {
             Query::Join(a, b, p) => f(*a).join(f(*b), p),
             Query::Diff(a, b) => f(*a).diff(f(*b)),
             Query::When(q, eta) => f(*q).when(*eta),
-            Query::Aggregate { input, group_by, aggs } => f(*input).aggregate(group_by, aggs),
+            Query::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => f(*input).aggregate(group_by, aggs),
         }
     }
 }
@@ -222,7 +234,11 @@ impl fmt::Display for Query {
             Query::Join(a, b, p) => write!(f, "({a} ⋈[{p}] {b})"),
             Query::Diff(a, b) => write!(f, "({a} − {b})"),
             Query::When(q, eta) => write!(f, "({q} when {eta})"),
-            Query::Aggregate { input, group_by, aggs } => {
+            Query::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 write!(f, "γ[")?;
                 for (i, c) in group_by.iter().enumerate() {
                     if i > 0 {
@@ -273,7 +289,9 @@ mod tests {
     fn purity_detection() {
         let pure = Query::base("R").join(Query::base("S"), Predicate::True);
         assert!(pure.is_pure());
-        let hyp = pure.clone().when(StateExpr::update(Update::insert("R", Query::base("S"))));
+        let hyp = pure
+            .clone()
+            .when(StateExpr::update(Update::insert("R", Query::base("S"))));
         assert!(!hyp.is_pure());
         assert!(hyp.contains_when());
         // when nested under an operator is still detected

@@ -83,7 +83,11 @@ pub fn free_update(u: &Update) -> NameSet {
             }
             out
         }
-        Update::Cond { guard, then_u, else_u } => {
+        Update::Cond {
+            guard,
+            then_u,
+            else_u,
+        } => {
             // Conservative: everything read by the guard or either branch.
             let mut out = free_query(guard);
             out.extend(free_update(then_u));
@@ -174,7 +178,10 @@ mod tests {
     fn free_of_pure_query_is_all_names() {
         let q = Query::base("R").join(sel(Query::base("S")), Predicate::True);
         assert_eq!(names(&free_query(&q)), ["R", "S"]);
-        assert_eq!(names(&free_query(&Query::singleton(hypoquery_storage::tuple![1]))), Vec::<&str>::new());
+        assert_eq!(
+            names(&free_query(&Query::singleton(hypoquery_storage::tuple![1]))),
+            Vec::<&str>::new()
+        );
     }
 
     #[test]
@@ -187,8 +194,10 @@ mod tests {
         assert_eq!(names(&dom_update(&u)), ["R"]);
 
         // free((U1;U2)) = free(U1) ∪ (free(U2) − dom(U1))
-        let seq = Update::insert("R", Query::base("S"))
-            .then(Update::delete("T", Query::base("R").union(Query::base("V"))));
+        let seq = Update::insert("R", Query::base("S")).then(Update::delete(
+            "T",
+            Query::base("R").union(Query::base("V")),
+        ));
         // R is defined by U1, so its occurrence in U2 is not free; T's
         // implicit read survives (T ∉ dom(U1)).
         assert_eq!(names(&free_update(&seq)), ["R", "S", "T", "V"]);

@@ -46,7 +46,9 @@ impl ExplicitSubst {
 
     /// Single binding `{q/name}`.
     pub fn single(name: impl Into<RelName>, q: Query) -> Self {
-        ExplicitSubst { bindings: vec![(name.into(), q)] }
+        ExplicitSubst {
+            bindings: vec![(name.into(), q)],
+        }
     }
 
     /// Add or replace the binding for `name`.
@@ -112,7 +114,11 @@ impl ExplicitSubst {
 
     /// Node count, for blow-up measurements.
     pub fn node_count(&self) -> usize {
-        1 + self.bindings.iter().map(|(_, q)| q.node_count()).sum::<usize>()
+        1 + self
+            .bindings
+            .iter()
+            .map(|(_, q)| q.node_count())
+            .sum::<usize>()
     }
 }
 

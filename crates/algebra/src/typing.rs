@@ -70,16 +70,33 @@ impl fmt::Display for TypeError {
                 write!(f, "{op}: operand arities differ ({left} vs {right})")
             }
             TypeError::PredicateOutOfRange { col, arity } => {
-                write!(f, "predicate references column {col} but input arity is {arity}")
+                write!(
+                    f,
+                    "predicate references column {col} but input arity is {arity}"
+                )
             }
             TypeError::ColumnOutOfRange { col, arity } => {
                 write!(f, "column {col} out of range for arity {arity}")
             }
-            TypeError::BindingArityMismatch { name, expected, found } => {
-                write!(f, "binding for {name}: expected arity {expected}, query has arity {found}")
+            TypeError::BindingArityMismatch {
+                name,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "binding for {name}: expected arity {expected}, query has arity {found}"
+                )
             }
-            TypeError::UpdateArityMismatch { name, expected, found } => {
-                write!(f, "update on {name}: expected arity {expected}, query has arity {found}")
+            TypeError::UpdateArityMismatch {
+                name,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "update on {name}: expected arity {expected}, query has arity {found}"
+                )
             }
         }
     }
@@ -112,9 +129,7 @@ pub fn arity_of(q: &Query, catalog: &Catalog) -> Result<usize, TypeError> {
         Query::Union(l, r) => same_arity("union", l, r, catalog),
         Query::Intersect(l, r) => same_arity("intersection", l, r, catalog),
         Query::Diff(l, r) => same_arity("difference", l, r, catalog),
-        Query::Product(l, r) => {
-            Ok(arity_of(l, catalog)? + arity_of(r, catalog)?)
-        }
+        Query::Product(l, r) => Ok(arity_of(l, catalog)? + arity_of(r, catalog)?),
         Query::Join(l, r, p) => {
             let a = arity_of(l, catalog)? + arity_of(r, catalog)?;
             check_predicate(p, a)?;
@@ -124,7 +139,11 @@ pub fn arity_of(q: &Query, catalog: &Catalog) -> Result<usize, TypeError> {
             check_state_expr(eta, catalog)?;
             arity_of(inner, catalog)
         }
-        Query::Aggregate { input, group_by, aggs } => {
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let a = arity_of(input, catalog)?;
             for &c in group_by {
                 if c >= a {
@@ -152,7 +171,11 @@ fn same_arity(
     let la = arity_of(l, catalog)?;
     let ra = arity_of(r, catalog)?;
     if la != ra {
-        return Err(TypeError::OperandArityMismatch { op, left: la, right: ra });
+        return Err(TypeError::OperandArityMismatch {
+            op,
+            left: la,
+            right: ra,
+        });
     }
     Ok(la)
 }
@@ -185,7 +208,11 @@ pub fn check_update(u: &Update, catalog: &Catalog) -> Result<(), TypeError> {
             check_update(a, catalog)?;
             check_update(b, catalog)
         }
-        Update::Cond { guard, then_u, else_u } => {
+        Update::Cond {
+            guard,
+            then_u,
+            else_u,
+        } => {
             arity_of(guard, catalog)?;
             check_update(then_u, catalog)?;
             check_update(else_u, catalog)
@@ -277,21 +304,34 @@ mod tests {
     #[test]
     fn set_ops_require_same_arity() {
         let c = cat();
-        assert_eq!(arity_of(&Query::base("R").union(Query::base("S")), &c), Ok(2));
+        assert_eq!(
+            arity_of(&Query::base("R").union(Query::base("S")), &c),
+            Ok(2)
+        );
         assert!(matches!(
             arity_of(&Query::base("R").union(Query::base("T")), &c),
-            Err(TypeError::OperandArityMismatch { op: "union", left: 2, right: 1 })
+            Err(TypeError::OperandArityMismatch {
+                op: "union",
+                left: 2,
+                right: 1
+            })
         ));
     }
 
     #[test]
     fn product_and_join_sum_arity() {
         let c = cat();
-        assert_eq!(arity_of(&Query::base("R").product(Query::base("T")), &c), Ok(3));
+        assert_eq!(
+            arity_of(&Query::base("R").product(Query::base("T")), &c),
+            Ok(3)
+        );
         let j = Query::base("R").join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2));
         assert_eq!(arity_of(&j, &c), Ok(4));
         let bad = Query::base("R").join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 4));
-        assert!(matches!(arity_of(&bad, &c), Err(TypeError::PredicateOutOfRange { .. })));
+        assert!(matches!(
+            arity_of(&bad, &c),
+            Err(TypeError::PredicateOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -302,7 +342,11 @@ mod tests {
         let bad_eta = StateExpr::update(Update::insert("R", Query::base("T")));
         assert!(matches!(
             arity_of(&Query::base("R").when(bad_eta), &c),
-            Err(TypeError::UpdateArityMismatch { expected: 2, found: 1, .. })
+            Err(TypeError::UpdateArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            })
         ));
     }
 
@@ -314,10 +358,17 @@ mod tests {
         let bad = ExplicitSubst::single("R", Query::base("T"));
         assert!(matches!(
             check_subst(&bad, &c),
-            Err(TypeError::BindingArityMismatch { expected: 2, found: 1, .. })
+            Err(TypeError::BindingArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            })
         ));
         let unknown = ExplicitSubst::single("Z", Query::base("T"));
-        assert!(matches!(check_subst(&unknown, &c), Err(TypeError::UnknownRelation(_))));
+        assert!(matches!(
+            check_subst(&unknown, &c),
+            Err(TypeError::UnknownRelation(_))
+        ));
     }
 
     #[test]
@@ -326,9 +377,15 @@ mod tests {
         let a = Query::base("R").aggregate([0], [AggExpr::Count, AggExpr::Sum(1)]);
         assert_eq!(arity_of(&a, &c), Ok(3));
         let bad = Query::base("R").aggregate([0], [AggExpr::Sum(9)]);
-        assert!(matches!(arity_of(&bad, &c), Err(TypeError::ColumnOutOfRange { col: 9, .. })));
+        assert!(matches!(
+            arity_of(&bad, &c),
+            Err(TypeError::ColumnOutOfRange { col: 9, .. })
+        ));
         let bad_group = Query::base("R").aggregate([5], [AggExpr::Count]);
-        assert!(matches!(arity_of(&bad_group, &c), Err(TypeError::ColumnOutOfRange { col: 5, .. })));
+        assert!(matches!(
+            arity_of(&bad_group, &c),
+            Err(TypeError::ColumnOutOfRange { col: 5, .. })
+        ));
     }
 
     #[test]
@@ -351,14 +408,19 @@ mod tests {
     #[test]
     fn compose_checked() {
         let c = cat();
-        let e = StateExpr::update(Update::insert("R", Query::base("S")))
-            .compose(StateExpr::subst(ExplicitSubst::single("T", Query::empty(1))));
+        let e = StateExpr::update(Update::insert("R", Query::base("S"))).compose(StateExpr::subst(
+            ExplicitSubst::single("T", Query::empty(1)),
+        ));
         assert!(check_state_expr(&e, &c).is_ok());
     }
 
     #[test]
     fn error_display() {
-        let e = TypeError::OperandArityMismatch { op: "union", left: 1, right: 2 };
+        let e = TypeError::OperandArityMismatch {
+            op: "union",
+            left: 1,
+            right: 2,
+        };
         assert_eq!(e.to_string(), "union: operand arities differ (1 vs 2)");
     }
 }

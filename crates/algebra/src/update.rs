@@ -66,7 +66,11 @@ impl Update {
 
     /// Conditional update (§6 extension).
     pub fn cond(guard: Query, then_u: Update, else_u: Update) -> Update {
-        Update::Cond { guard, then_u: Box::new(then_u), else_u: Box::new(else_u) }
+        Update::Cond {
+            guard,
+            then_u: Box::new(then_u),
+            else_u: Box::new(else_u),
+        }
     }
 
     /// Whether this update is a single atomic insert or delete — the shape
@@ -99,9 +103,11 @@ impl Update {
         match self {
             Update::Insert(_, q) | Update::Delete(_, q) => 1 + q.node_count(),
             Update::Seq(a, b) => 1 + a.node_count() + b.node_count(),
-            Update::Cond { guard, then_u, else_u } => {
-                1 + guard.node_count() + then_u.node_count() + else_u.node_count()
-            }
+            Update::Cond {
+                guard,
+                then_u,
+                else_u,
+            } => 1 + guard.node_count() + then_u.node_count() + else_u.node_count(),
         }
     }
 }
@@ -112,7 +118,11 @@ impl fmt::Display for Update {
             Update::Insert(r, q) => write!(f, "ins({r}, {q})"),
             Update::Delete(r, q) => write!(f, "del({r}, {q})"),
             Update::Seq(a, b) => write!(f, "({a}; {b})"),
-            Update::Cond { guard, then_u, else_u } => {
+            Update::Cond {
+                guard,
+                then_u,
+                else_u,
+            } => {
                 write!(f, "if {guard} then {then_u} else {else_u}")
             }
         }
@@ -126,8 +136,11 @@ mod tests {
 
     #[test]
     fn builders_and_display() {
-        let u = Update::insert("R", Query::base("S").select(Predicate::col_cmp(0, CmpOp::Gt, 30)))
-            .then(Update::delete("S", Query::base("S")));
+        let u = Update::insert(
+            "R",
+            Query::base("S").select(Predicate::col_cmp(0, CmpOp::Gt, 30)),
+        )
+        .then(Update::delete("S", Query::base("S")));
         assert_eq!(u.to_string(), "(ins(R, σ[#0 > 30](S)); del(S, S))");
     }
 

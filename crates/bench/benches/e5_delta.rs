@@ -49,7 +49,11 @@ fn bench(c: &mut Criterion) {
         )
         .unwrap();
         g.bench_with_input(BenchmarkId::new("join_when_only", &label), &pct, |b, _| {
-            b.iter(|| hypoquery_eval::eval_filter_d(&join, &delta, &db).unwrap().len())
+            b.iter(|| {
+                hypoquery_eval::eval_filter_d(&join, &delta, &db)
+                    .unwrap()
+                    .len()
+            })
         });
 
         // Delta-based end-to-end: delta construction + join-when.

@@ -20,12 +20,7 @@ use hypoquery_core::{to_enf_query, RewriteTrace};
 use hypoquery_eval::{algorithm_hql1, algorithm_hql2};
 
 fn queries() -> Vec<(&'static str, Query)> {
-    let eta = || {
-        StateExpr::update(Update::insert(
-            "R",
-            sel(Query::base("S"), CmpOp::Gt, 30),
-        ))
-    };
+    let eta = || StateExpr::update(Update::insert("R", sel(Query::base("S"), CmpOp::Gt, 30)));
     vec![
         (
             "join_select",

@@ -20,7 +20,10 @@ use hypoquery_storage::DatabaseState;
 fn scenarios(db: &DatabaseState) -> Vec<(&'static str, Query)> {
     vec![
         ("empty_provable", e1_query(6_000, 12_000)),
-        ("small_delta_join", rs_join().when(StateExpr::update(e5_update(db, 0.02)))),
+        (
+            "small_delta_join",
+            rs_join().when(StateExpr::update(e5_update(db, 0.02))),
+        ),
         ("many_occurrences", e7_query(8)),
     ]
 }

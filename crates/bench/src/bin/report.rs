@@ -1,20 +1,22 @@
-//! Experiment report generator: runs every experiment (E1–E8) once with
+//! Experiment report generator: runs every experiment (E1–E9) once with
 //! wall-clock timing and prints the paper-claim-vs-measured tables that
-//! EXPERIMENTS.md records.
+//! EXPERIMENTS.md records. E9 additionally writes machine-readable
+//! medians (ns per config) to `BENCH_e9.json` in the current directory —
+//! override the path with `BENCH_E9_JSON=<path>`.
 //!
 //! Run with: `cargo run --release -p hypoquery-bench --bin report`
 //! (a debug build measures the same shapes, ~20× slower.)
 
+use std::io::Write as _;
 use std::time::Instant;
 
 use hypoquery_algebra::{Query, StateExpr};
 use hypoquery_bench::workload::{
-    e1_query, e2_family, e2_state, e3_db, e3_update, e4_db, e4_query, e5_update, e7_query,
-    rs_join, two_table_db,
+    e1_query, e2_family, e2_state, e3_db, e3_update, e4_db, e4_query, e5_update, e7_query, e9_db,
+    e9_scenarios, rs_join, two_table_db,
 };
 use hypoquery_core::{
-    fully_lazy, lazy_state, red_query, red_state, sub_query, to_enf_query, to_mod_enf,
-    RewriteTrace,
+    fully_lazy, lazy_state, red_query, red_state, sub_query, to_enf_query, to_mod_enf, RewriteTrace,
 };
 use hypoquery_eval::{
     algorithm_hql1, algorithm_hql2, algorithm_hql3, eval_pure, filter1, materialize_subst,
@@ -51,13 +53,16 @@ fn main() {
     e6();
     e7();
     e8();
+    e9();
 }
 
 fn e1() {
     println!("## E1 — Example 2.1: eager vs lazy on the alternatives query");
     println!("paper claim: lazy rewriting proves the query ≡ ∅ with no data access;");
     println!("eager cost grows with |R|,|S|.\n");
-    println!("| rows | eager HQL-1 (ms) | eager HQL-2 (ms) | lazy (ms) | auto (ms) | auto picked |");
+    println!(
+        "| rows | eager HQL-1 (ms) | eager HQL-2 (ms) | lazy (ms) | auto (ms) | auto picked |"
+    );
     println!("|---:|---:|---:|---:|---:|:--|");
     for n in [1_000usize, 10_000, 50_000] {
         let keys = (10 * n) as i64;
@@ -96,7 +101,9 @@ fn e2() {
     println!("## E2 — Example 2.2: composition amortizes over a query family");
     println!("paper claim: computing the composed substitution once 'might reduce");
     println!("work' when many queries hit the same hypothetical state.\n");
-    println!("| k queries | naive per-query (ms) | compose-once eager (ms) | compose-once lazy (ms) |");
+    println!(
+        "| k queries | naive per-query (ms) | compose-once eager (ms) | compose-once lazy (ms) |"
+    );
     println!("|---:|---:|---:|---:|");
     let db = two_table_db(20_000, 20_000, 100, 2);
     let eta = e2_state(30, 60);
@@ -115,7 +122,10 @@ fn e2() {
         let (te, _) = bench_ms(|| {
             let rho = lazy_state(&eta, &mut RewriteTrace::new());
             let e = materialize_subst(&rho, &db).unwrap();
-            family.iter().map(|q| filter1(q, &e, &db).unwrap().len()).sum()
+            family
+                .iter()
+                .map(|q| filter1(q, &e, &db).unwrap().len())
+                .sum()
         });
         let (tl, _) = bench_ms(|| {
             let rho = lazy_state(&eta, &mut RewriteTrace::new());
@@ -179,7 +189,8 @@ fn e4() {
         let input_nodes = q.node_count();
         let (tred, lazy_nodes) = bench_ms(|| red_query(&q).unwrap().node_count());
         let (q_rescue, catalog) = e4_query(n, Some(1));
-        let (tres, rescue_nodes) = bench_ms(|| reduce_optimized(&q_rescue, &catalog).0.node_count());
+        let (tres, rescue_nodes) =
+            bench_ms(|| reduce_optimized(&q_rescue, &catalog).0.node_count());
         assert_eq!(rescue_nodes, 1); // ∅
         let eager = if n <= 10 {
             let (qq, cat) = e4_query(n, None);
@@ -223,7 +234,9 @@ fn e5() {
         )
         .unwrap();
         let (tjw, _) = bench_ms(|| {
-            hypoquery_eval::eval_filter_d(&join, &delta, &db).unwrap().len()
+            hypoquery_eval::eval_filter_d(&join, &delta, &db)
+                .unwrap()
+                .len()
         });
         let (t3, _) = bench_ms(|| algorithm_hql3(&modq, &db).unwrap().len());
         let (t2, _) = bench_ms(|| algorithm_hql2(&enfq, &db).unwrap().len());
@@ -339,4 +352,129 @@ fn e8() {
         println!("| {name} | {tl:.2} | {t2:.2} | {t3} | {ta:.2} | {picked} |");
     }
     println!();
+}
+
+fn e9() {
+    println!("## E9 — copy-on-write snapshots + parallel multi-scenario executor");
+    println!("claims: state snapshots are O(#relations) pointer bumps, not O(data);");
+    println!("k independent what-if branches over one base share it physically and");
+    println!("fan out across cores (speedup ~min(k, cores)× when work dominates).\n");
+
+    // Median-of-N nanosecond timings, machine-readable for regression
+    // tracking across PRs.
+    let mut json: Vec<(String, f64)> = Vec::new();
+    let mut bench_ns = |config: &str, reps: usize, f: &mut dyn FnMut() -> usize| -> f64 {
+        let mut samples: Vec<f64> = (0..reps.max(3))
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_secs_f64() * 1e9
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        json.push((config.to_string(), median));
+        median
+    };
+
+    let rows = 100_000usize;
+    let state = two_table_db(rows, rows, 1000, 9);
+    println!("| config | median |");
+    println!("|:--|---:|");
+    let t = bench_ns("clone_cow_100k", 101, &mut || state.clone().total_tuples());
+    println!(
+        "| `DatabaseState::clone` (CoW, {rows} rows) | {} |",
+        fmt_ns(t)
+    );
+    let t = bench_ns("clone_deep_100k", 5, &mut || {
+        let mut out = DatabaseState::new(state.catalog().clone());
+        for (name, rel) in state.iter() {
+            let copy =
+                hypoquery_storage::Relation::from_rows(rel.arity(), rel.iter().cloned()).unwrap();
+            out.set(name.clone(), copy).unwrap();
+        }
+        out.total_tuples()
+    });
+    println!("| deep copy (pre-CoW cost model) | {} |", fmt_ns(t));
+
+    let db = e9_db(rows, 9);
+    let k = 8usize;
+    let scenarios = e9_scenarios(k);
+    let t_deep = bench_ns(&format!("scenarios_deepcopy_seq_{k}x100k"), 5, &mut || {
+        scenarios
+            .iter()
+            .map(|q| {
+                let mut snapshot = DatabaseState::new(db.state().catalog().clone());
+                for (name, rel) in db.state().iter() {
+                    let copy =
+                        hypoquery_storage::Relation::from_rows(rel.arity(), rel.iter().cloned())
+                            .unwrap();
+                    snapshot.set(name.clone(), copy).unwrap();
+                }
+                std::hint::black_box(&snapshot);
+                db.execute(q, hypoquery_engine::Strategy::Lazy)
+                    .unwrap()
+                    .len()
+            })
+            .sum()
+    });
+    println!(
+        "| {k} scenarios, deep snapshot each (seed cost model) | {} |",
+        fmt_ns(t_deep)
+    );
+    let t_seq = bench_ns(&format!("scenarios_cow_seq_{k}x100k"), 5, &mut || {
+        scenarios
+            .iter()
+            .map(|q| {
+                db.execute(q, hypoquery_engine::Strategy::Lazy)
+                    .unwrap()
+                    .len()
+            })
+            .sum()
+    });
+    println!(
+        "| {k} scenarios, CoW snapshots, sequential | {} |",
+        fmt_ns(t_seq)
+    );
+    let t_par = bench_ns(&format!("scenarios_cow_par_{k}x100k"), 5, &mut || {
+        db.execute_many(&scenarios, hypoquery_engine::Strategy::Lazy)
+            .unwrap()
+            .iter()
+            .map(|r| r.len())
+            .sum()
+    });
+    println!(
+        "| {k} scenarios, CoW snapshots, parallel ({} workers) | {} |",
+        hypoquery_eval::num_workers(),
+        fmt_ns(t_par)
+    );
+    println!(
+        "\nspeedup vs seed cost model: sequential {:.1}×, parallel {:.1}×\n",
+        t_deep / t_seq,
+        t_deep / t_par
+    );
+
+    let path = std::env::var("BENCH_E9_JSON").unwrap_or_else(|_| "BENCH_e9.json".to_string());
+    let mut out = String::from("{\n");
+    for (i, (config, median)) in json.iter().enumerate() {
+        let comma = if i + 1 < json.len() { "," } else { "" };
+        out.push_str(&format!("  \"{config}\": {median:.1}{comma}\n"));
+    }
+    out.push_str("}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
 }

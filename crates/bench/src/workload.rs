@@ -40,8 +40,10 @@ pub fn two_table_db(r_rows: usize, s_rows: usize, key_range: i64, seed: u64) -> 
     catalog.declare_arity("S", 2).unwrap();
     let mut db = DatabaseState::new(catalog);
     let mut r = rng(seed);
-    db.set(RelName::new("R"), int_relation(r_rows, key_range, &mut r)).unwrap();
-    db.set(RelName::new("S"), int_relation(s_rows, key_range, &mut r)).unwrap();
+    db.set(RelName::new("R"), int_relation(r_rows, key_range, &mut r))
+        .unwrap();
+    db.set(RelName::new("S"), int_relation(s_rows, key_range, &mut r))
+        .unwrap();
     db
 }
 
@@ -92,8 +94,11 @@ pub fn e2_state(lo: i64, hi: i64) -> StateExpr {
 pub fn e2_family(k: usize) -> Vec<Query> {
     (0..k)
         .map(|i| {
-            sel(Query::base("R"), CmpOp::Gt, (i % 50) as i64)
-                .union(sel(Query::base("S"), CmpOp::Le, (i % 70) as i64))
+            sel(Query::base("R"), CmpOp::Gt, (i % 50) as i64).union(sel(
+                Query::base("S"),
+                CmpOp::Le,
+                (i % 70) as i64,
+            ))
         })
         .collect()
 }
@@ -116,9 +121,12 @@ pub fn e3_db(rows: usize, seed: u64) -> DatabaseState {
     catalog.declare_arity("T", 2).unwrap();
     let mut db = DatabaseState::new(catalog);
     let mut r = rng(seed);
-    db.set(RelName::new("R"), int_relation(rows, 100, &mut r)).unwrap();
-    db.set(RelName::new("S"), int_relation(rows, 100, &mut r)).unwrap();
-    db.set(RelName::new("T"), int_relation(rows / 2, 100, &mut r)).unwrap();
+    db.set(RelName::new("R"), int_relation(rows, 100, &mut r))
+        .unwrap();
+    db.set(RelName::new("S"), int_relation(rows, 100, &mut r))
+        .unwrap();
+    db.set(RelName::new("T"), int_relation(rows / 2, 100, &mut r))
+        .unwrap();
     db
 }
 
@@ -210,12 +218,47 @@ pub fn e7_query(m: usize) -> Query {
         .project([0, 3]);
     let mut body = Query::base("R").select(Predicate::col_cmp(1, CmpOp::Lt, 1_000));
     for i in 1..m {
-        body = body.union(
-            Query::base("R")
-                .select(Predicate::col_cmp(1, CmpOp::Lt, 1_000 + (i as i64) * 1_000)),
-        );
+        body = body.union(Query::base("R").select(Predicate::col_cmp(
+            1,
+            CmpOp::Lt,
+            1_000 + (i as i64) * 1_000,
+        )));
     }
     body.when(StateExpr::update(Update::insert("R", expensive)))
+}
+
+/// E9: an engine-level database for the multi-scenario executor —
+/// `R` and `S` with `rows` rows each, keys over `0..1000`.
+pub fn e9_db(rows: usize, seed: u64) -> hypoquery_engine::Database {
+    let state = two_table_db(rows, rows, 1000, seed);
+    let mut db = hypoquery_engine::Database::with_catalog(state.catalog().clone());
+    for (name, rel) in state.iter() {
+        db.load(name.as_str(), rel.iter().cloned()).unwrap();
+    }
+    db
+}
+
+/// `k` independent what-if scenarios over the E9 base: scenario `i`
+/// hypothetically deletes its own key slice of `R` and inserts a slice of
+/// `S`, then reads both through selections. Each scenario builds its own
+/// snapshot of the shared base; the reads are linear scans, so snapshot
+/// cost is visible next to evaluation cost.
+pub fn e9_scenarios(k: usize) -> Vec<Query> {
+    (0..k)
+        .map(|i| {
+            let t = 10 + (i as i64 * 900) / k.max(1) as i64;
+            sel(Query::base("R"), CmpOp::Gt, 990)
+                .union(sel(Query::base("S"), CmpOp::Le, 5))
+                .when(StateExpr::update(Update::delete(
+                    "R",
+                    sel(Query::base("R"), CmpOp::Lt, t),
+                )))
+                .when(StateExpr::update(Update::insert(
+                    "S",
+                    sel(Query::base("R"), CmpOp::Gt, 1000 - t),
+                )))
+        })
+        .collect()
 }
 
 #[cfg(test)]

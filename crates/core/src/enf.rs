@@ -82,11 +82,13 @@ impl CollapsedTree {
         match self {
             CollapsedTree::Leaf(_) => 1,
             CollapsedTree::When { child, bindings } => {
-                1 + child.node_count()
-                    + bindings.iter().map(|(_, t)| t.node_count()).sum::<usize>()
+                1 + child.node_count() + bindings.iter().map(|(_, t)| t.node_count()).sum::<usize>()
             }
             CollapsedTree::Ra { when_children, .. } => {
-                1 + when_children.iter().map(CollapsedTree::node_count).sum::<usize>()
+                1 + when_children
+                    .iter()
+                    .map(CollapsedTree::node_count)
+                    .sum::<usize>()
             }
         }
     }
@@ -106,7 +108,11 @@ impl fmt::Display for CollapsedTree {
                 }
                 write!(f, "}})")
             }
-            CollapsedTree::Ra { template, when_children, .. } => {
+            CollapsedTree::Ra {
+                template,
+                when_children,
+                ..
+            } => {
                 write!(f, "{template}")?;
                 if !when_children.is_empty() {
                     write!(f, " where")?;
@@ -151,7 +157,11 @@ fn collapse_enf(q: &Query) -> CollapsedTree {
             let mut when_children = Vec::new();
             let mut leaf_names = Vec::new();
             let template = gather_region(q, &mut when_children, &mut leaf_names);
-            CollapsedTree::Ra { template, when_children, leaf_names }
+            CollapsedTree::Ra {
+                template,
+                when_children,
+                leaf_names,
+            }
         }
     }
 }
@@ -281,7 +291,10 @@ mod tests {
     }
 
     fn eps2() -> ExplicitSubst {
-        ExplicitSubst::single("S", Query::base("S").select(Predicate::col_cmp(0, CmpOp::Gt, 1)))
+        ExplicitSubst::single(
+            "S",
+            Query::base("S").select(Predicate::col_cmp(0, CmpOp::Gt, 1)),
+        )
     }
 
     /// Example 5.2: Q = (Q1 when ε1) ⋈ (R ⋈ σ(Q2 when ε2)).
@@ -292,19 +305,22 @@ mod tests {
         let q1 = Query::base("Q1");
         let q2 = Query::base("Q2");
         let p = Predicate::True;
-        let q = q1
-            .clone()
-            .when(StateExpr::subst(eps1()))
-            .join(
-                Query::base("R").join(
-                    q2.clone().when(StateExpr::subst(eps2())).select(Predicate::col_cmp(0, CmpOp::Gt, 0)),
-                    p.clone(),
-                ),
+        let q = q1.clone().when(StateExpr::subst(eps1())).join(
+            Query::base("R").join(
+                q2.clone()
+                    .when(StateExpr::subst(eps2()))
+                    .select(Predicate::col_cmp(0, CmpOp::Gt, 0)),
                 p.clone(),
-            );
+            ),
+            p.clone(),
+        );
         let t = collapse(&q).unwrap();
         match &t {
-            CollapsedTree::Ra { template, when_children, leaf_names } => {
+            CollapsedTree::Ra {
+                template,
+                when_children,
+                leaf_names,
+            } => {
                 assert_eq!(when_children.len(), 2);
                 assert_eq!(leaf_names, &vec![RelName::new("R")]);
                 // Template references $0, $1 and R.
@@ -340,7 +356,10 @@ mod tests {
 
     #[test]
     fn collapse_of_leaf_and_when() {
-        assert_eq!(collapse(&Query::base("R")).unwrap(), CollapsedTree::Leaf("R".into()));
+        assert_eq!(
+            collapse(&Query::base("R")).unwrap(),
+            CollapsedTree::Leaf("R".into())
+        );
         let q = Query::base("R").when(StateExpr::subst(eps1()));
         match collapse(&q).unwrap() {
             CollapsedTree::When { child, bindings } => {
@@ -355,9 +374,15 @@ mod tests {
 
     #[test]
     fn leaf_names_are_deduplicated() {
-        let q = Query::base("R").union(Query::base("R")).union(Query::base("S"));
+        let q = Query::base("R")
+            .union(Query::base("R"))
+            .union(Query::base("S"));
         match collapse(&q).unwrap() {
-            CollapsedTree::Ra { leaf_names, when_children, .. } => {
+            CollapsedTree::Ra {
+                leaf_names,
+                when_children,
+                ..
+            } => {
                 assert_eq!(leaf_names, vec![RelName::new("R"), RelName::new("S")]);
                 assert!(when_children.is_empty());
             }
@@ -397,10 +422,7 @@ mod tests {
 
     #[test]
     fn nested_when_inside_update_query_is_mod_enf() {
-        let inner = Query::base("S").when(StateExpr::update(Update::insert(
-            "S",
-            Query::base("T"),
-        )));
+        let inner = Query::base("S").when(StateExpr::update(Update::insert("S", Query::base("T"))));
         let q = Query::base("R").when(StateExpr::update(Update::insert("R", inner)));
         assert!(is_mod_enf(&q));
     }
@@ -413,6 +435,8 @@ mod tests {
         let t = collapse(&q).unwrap();
         let s = t.to_string();
         assert!(s.contains("when"), "display: {s}");
-        assert!(EnfError::NotEnf("x".into()).to_string().contains("not in ENF"));
+        assert!(EnfError::NotEnf("x".into())
+            .to_string()
+            .contains("not in ENF"));
     }
 }

@@ -123,12 +123,19 @@ impl RewriteTrace {
 
     /// An empty trace that records each step's redex rendering.
     pub fn verbose() -> Self {
-        RewriteTrace { steps: Vec::new(), verbose: true }
+        RewriteTrace {
+            steps: Vec::new(),
+            verbose: true,
+        }
     }
 
     /// Record a rule firing on `redex`.
     pub fn record(&mut self, rule: Rule, redex: &dyn fmt::Display) {
-        let detail = if self.verbose { Some(redex.to_string()) } else { None };
+        let detail = if self.verbose {
+            Some(redex.to_string())
+        } else {
+            None
+        };
         self.steps.push(RewriteStep { rule, detail });
     }
 
@@ -158,7 +165,9 @@ impl fmt::Display for RewriteTrace {
 /// `R when ε ≡ ε(R)` (bound) / `R` (unbound); `{t} when η ≡ {t}`;
 /// `∅ when η ≡ ∅`. Fires on `When` whose body is a leaf.
 pub fn rule_when_leaf(q: &Query) -> Option<(Query, Rule)> {
-    let Query::When(body, eta) = q else { return None };
+    let Query::When(body, eta) = q else {
+        return None;
+    };
     match (&**body, &**eta) {
         (Query::Singleton(_), _) => Some(((**body).clone(), Rule::WhenSingleton)),
         (Query::Empty { .. }, _) => Some(((**body).clone(), Rule::WhenEmpty)),
@@ -173,33 +182,35 @@ pub fn rule_when_leaf(q: &Query) -> Option<(Query, Rule)> {
 /// Push `when` through unary and binary algebra operators
 /// (*push-when-into-algebra-expressions*, Fig. 1).
 pub fn rule_push_when(q: &Query) -> Option<(Query, Rule)> {
-    let Query::When(body, eta) = q else { return None };
+    let Query::When(body, eta) = q else {
+        return None;
+    };
     let eta = (**eta).clone();
     match (**body).clone() {
-        Query::Select(inner, p) => {
-            Some((inner.when(eta).select(p), Rule::PushWhenUnary))
-        }
-        Query::Project(inner, cols) => {
-            Some((inner.when(eta).project(cols), Rule::PushWhenUnary))
-        }
-        Query::Aggregate { input, group_by, aggs } => {
-            Some((input.when(eta).aggregate(group_by, aggs), Rule::PushWhenUnary))
-        }
-        Query::Union(a, b) => {
-            Some((a.when(eta.clone()).union(b.when(eta)), Rule::PushWhenBinary))
-        }
-        Query::Intersect(a, b) => {
-            Some((a.when(eta.clone()).intersect(b.when(eta)), Rule::PushWhenBinary))
-        }
-        Query::Product(a, b) => {
-            Some((a.when(eta.clone()).product(b.when(eta)), Rule::PushWhenBinary))
-        }
-        Query::Join(a, b, p) => {
-            Some((a.when(eta.clone()).join(b.when(eta), p), Rule::PushWhenBinary))
-        }
-        Query::Diff(a, b) => {
-            Some((a.when(eta.clone()).diff(b.when(eta)), Rule::PushWhenBinary))
-        }
+        Query::Select(inner, p) => Some((inner.when(eta).select(p), Rule::PushWhenUnary)),
+        Query::Project(inner, cols) => Some((inner.when(eta).project(cols), Rule::PushWhenUnary)),
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Some((
+            input.when(eta).aggregate(group_by, aggs),
+            Rule::PushWhenUnary,
+        )),
+        Query::Union(a, b) => Some((a.when(eta.clone()).union(b.when(eta)), Rule::PushWhenBinary)),
+        Query::Intersect(a, b) => Some((
+            a.when(eta.clone()).intersect(b.when(eta)),
+            Rule::PushWhenBinary,
+        )),
+        Query::Product(a, b) => Some((
+            a.when(eta.clone()).product(b.when(eta)),
+            Rule::PushWhenBinary,
+        )),
+        Query::Join(a, b, p) => Some((
+            a.when(eta.clone()).join(b.when(eta), p),
+            Rule::PushWhenBinary,
+        )),
+        Query::Diff(a, b) => Some((a.when(eta.clone()).diff(b.when(eta)), Rule::PushWhenBinary)),
         _ => None,
     }
 }
@@ -207,38 +218,44 @@ pub fn rule_push_when(q: &Query) -> Option<(Query, Rule)> {
 /// *convert-to-explicit-substitutions* (Fig. 1): rewrite a `{U}` state
 /// expression one step towards explicit form.
 pub fn rule_convert_update(eta: &StateExpr) -> Option<(StateExpr, Rule)> {
-    let StateExpr::Update(u) = eta else { return None };
+    let StateExpr::Update(u) = eta else {
+        return None;
+    };
     match u {
-        Update::Insert(_, _) => {
-            Some((StateExpr::subst(slice_hql(u)), Rule::ConvertInsert))
-        }
-        Update::Delete(_, _) => {
-            Some((StateExpr::subst(slice_hql(u)), Rule::ConvertDelete))
-        }
+        Update::Insert(_, _) => Some((StateExpr::subst(slice_hql(u)), Rule::ConvertInsert)),
+        Update::Delete(_, _) => Some((StateExpr::subst(slice_hql(u)), Rule::ConvertDelete)),
         Update::Seq(u1, u2) => Some((
             StateExpr::update((**u1).clone()).compose(StateExpr::update((**u2).clone())),
             Rule::ConvertSeq,
         )),
-        Update::Cond { .. } => {
-            Some((StateExpr::subst(slice_hql(u)), Rule::ConvertCond))
-        }
+        Update::Cond { .. } => Some((StateExpr::subst(slice_hql(u)), Rule::ConvertCond)),
     }
 }
 
 /// `(Q when η₁) when η₂ ≡ Q when (η₂ # η₁)` (*replace-nested-when*).
 pub fn rule_replace_nested_when(q: &Query) -> Option<(Query, Rule)> {
-    let Query::When(body, eta2) = q else { return None };
-    let Query::When(inner, eta1) = &**body else { return None };
+    let Query::When(body, eta2) = q else {
+        return None;
+    };
+    let Query::When(inner, eta1) = &**body else {
+        return None;
+    };
     Some((
-        inner.clone().when((**eta2).clone().compose((**eta1).clone())),
+        inner
+            .clone()
+            .when((**eta2).clone().compose((**eta1).clone())),
         Rule::ReplaceNestedWhen,
     ))
 }
 
 /// `(η₁ # η₂) # η₃ ≡ η₁ # (η₂ # η₃)` (*associativity*).
 pub fn rule_compose_assoc(eta: &StateExpr) -> Option<(StateExpr, Rule)> {
-    let StateExpr::Compose(ab, c) = eta else { return None };
-    let StateExpr::Compose(a, b) = &**ab else { return None };
+    let StateExpr::Compose(ab, c) = eta else {
+        return None;
+    };
+    let StateExpr::Compose(a, b) = &**ab else {
+        return None;
+    };
     Some((
         (**a).clone().compose((**b).clone().compose((**c).clone())),
         Rule::ComposeAssoc,
@@ -248,7 +265,9 @@ pub fn rule_compose_assoc(eta: &StateExpr) -> Option<(StateExpr, Rule)> {
 /// `ε₁ # ε₂` computed into one explicit substitution
 /// (*compute-composition*, via [`compose_suspended`]).
 pub fn rule_compute_composition(eta: &StateExpr) -> Option<(StateExpr, Rule)> {
-    let StateExpr::Compose(a, b) = eta else { return None };
+    let StateExpr::Compose(a, b) = eta else {
+        return None;
+    };
     let (StateExpr::Subst(e1), StateExpr::Subst(e2)) = (&**a, &**b) else {
         return None;
     };
@@ -262,8 +281,12 @@ pub fn rule_compute_composition(eta: &StateExpr) -> Option<(StateExpr, Rule)> {
 /// drop a binding for a name not free in the body; drop an identity
 /// binding `R/R`; drop an empty substitution entirely.
 pub fn rule_simplify_subst(q: &Query) -> Option<(Query, Rule)> {
-    let Query::When(body, eta) = q else { return None };
-    let StateExpr::Subst(eps) = &**eta else { return None };
+    let Query::When(body, eta) = q else {
+        return None;
+    };
+    let StateExpr::Subst(eps) = &**eta else {
+        return None;
+    };
     if eps.is_empty() {
         return Some(((**body).clone(), Rule::DropEmptySubst));
     }
@@ -289,8 +312,12 @@ pub fn rule_simplify_subst(q: &Query) -> Option<(Query, Rule)> {
 /// (Q when η₂) when η₁` when the three disjointness conditions hold:
 /// `dom(η₁) ∩ dom(η₂) = dom(η₁) ∩ free(η₂) = dom(η₂) ∩ free(η₁) = ∅`.
 pub fn rule_commute_hypotheticals(q: &Query) -> Option<(Query, Rule)> {
-    let Query::When(body, eta2) = q else { return None };
-    let Query::When(inner, eta1) = &**body else { return None };
+    let Query::When(body, eta2) = q else {
+        return None;
+    };
+    let Query::When(inner, eta1) = &**body else {
+        return None;
+    };
     let d1 = dom_state_expr(eta1);
     let d2 = dom_state_expr(eta2);
     let f1 = free_state_expr(eta1);
@@ -302,10 +329,7 @@ pub fn rule_commute_hypotheticals(q: &Query) -> Option<(Query, Rule)> {
         return None;
     }
     Some((
-        inner
-            .clone()
-            .when((**eta2).clone())
-            .when((**eta1).clone()),
+        inner.clone().when((**eta2).clone()).when((**eta1).clone()),
         Rule::CommuteHypotheticals,
     ))
 }
@@ -344,8 +368,7 @@ pub fn is_enf_query(q: &Query) -> bool {
 pub fn to_enf_state(eta: &StateExpr, trace: &mut RewriteTrace) -> ExplicitSubst {
     match eta {
         StateExpr::Update(_) => {
-            let (next, rule) =
-                rule_convert_update(eta).expect("convert rules are total on {U}");
+            let (next, rule) = rule_convert_update(eta).expect("convert rules are total on {U}");
             trace.record(rule, eta);
             to_enf_state(&next, trace)
         }
@@ -462,7 +485,9 @@ mod tests {
         assert_eq!(rule, Rule::PushWhenBinary);
         assert_eq!(
             out,
-            Query::base("R").when(eta.clone()).union(Query::base("S").when(eta.clone()))
+            Query::base("R")
+                .when(eta.clone())
+                .union(Query::base("S").when(eta.clone()))
         );
 
         let q2 = Query::base("R").project([0]).when(eta.clone());
@@ -481,9 +506,9 @@ mod tests {
         let eps = out.as_subst().unwrap();
         assert!(eps.get(&"R".into()).is_some());
 
-        let seq = StateExpr::update(Update::insert("R", Query::base("S")).then(
-            Update::delete("S", Query::base("S")),
-        ));
+        let seq = StateExpr::update(
+            Update::insert("R", Query::base("S")).then(Update::delete("S", Query::base("S"))),
+        );
         let (out, rule) = rule_convert_update(&seq).unwrap();
         assert_eq!(rule, Rule::ConvertSeq);
         assert!(matches!(out, StateExpr::Compose(_, _)));
@@ -550,12 +575,18 @@ mod tests {
         // η1 touches R reading S; η2 touches T reading V → commutable.
         let e1 = StateExpr::update(Update::insert("R", Query::base("S")));
         let e2 = StateExpr::update(Update::insert("T", Query::base("V")));
-        let q = Query::base("R").union(Query::base("T")).when(e1.clone()).when(e2.clone());
+        let q = Query::base("R")
+            .union(Query::base("T"))
+            .when(e1.clone())
+            .when(e2.clone());
         let (out, rule) = rule_commute_hypotheticals(&q).unwrap();
         assert_eq!(rule, Rule::CommuteHypotheticals);
         assert_eq!(
             out,
-            Query::base("R").union(Query::base("T")).when(e2.clone()).when(e1.clone())
+            Query::base("R")
+                .union(Query::base("T"))
+                .when(e2.clone())
+                .when(e1.clone())
         );
 
         // η2 reads R which η1 defines → not commutable.

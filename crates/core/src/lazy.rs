@@ -15,7 +15,7 @@
 use hypoquery_algebra::scope::free_query;
 use hypoquery_algebra::{ExplicitSubst, Query, StateExpr, Update};
 
-use crate::equiv::{Rule, RewriteTrace};
+use crate::equiv::{RewriteTrace, Rule};
 use crate::subst::{compose_pure, slice, sub_query};
 
 /// Reduce an HQL query to pure RA, recording the rules applied.
@@ -51,12 +51,13 @@ pub fn fully_lazy(q: &Query, trace: &mut RewriteTrace) -> Query {
                 return body;
             }
             trace.record(Rule::ApplySubstitution, &restricted);
-            sub_query(&body, &restricted)
-                .expect("invariant: lazily reduced queries are pure")
+            sub_query(&body, &restricted).expect("invariant: lazily reduced queries are pure")
         }
-        Query::Aggregate { input, group_by, aggs } => {
-            fully_lazy(input, trace).aggregate(group_by.clone(), aggs.clone())
-        }
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => fully_lazy(input, trace).aggregate(group_by.clone(), aggs.clone()),
     }
 }
 
@@ -98,7 +99,11 @@ fn lazy_update(u: &Update, trace: &mut RewriteTrace) -> Update {
             trace.record(Rule::ConvertSeq, u);
             lazy_update(a, trace).then(lazy_update(b, trace))
         }
-        Update::Cond { guard, then_u, else_u } => {
+        Update::Cond {
+            guard,
+            then_u,
+            else_u,
+        } => {
             trace.record(Rule::ConvertCond, u);
             Update::cond(
                 fully_lazy(guard, trace),
@@ -121,11 +126,10 @@ mod tests {
 
     #[test]
     fn agrees_with_red_when_all_bindings_used() {
-        let eta = StateExpr::update(Update::insert(
-            "R",
-            sel(0, CmpOp::Gt, 30, Query::base("S")),
-        ));
-        let q = Query::base("R").join(Query::base("S"), Predicate::True).when(eta);
+        let eta = StateExpr::update(Update::insert("R", sel(0, CmpOp::Gt, 30, Query::base("S"))));
+        let q = Query::base("R")
+            .join(Query::base("S"), Predicate::True)
+            .when(eta);
         let mut trace = RewriteTrace::new();
         assert_eq!(fully_lazy(&q, &mut trace), red_query(&q).unwrap());
         assert!(trace.count(Rule::ApplySubstitution) == 1);
@@ -141,7 +145,9 @@ mod tests {
             Update::insert("T", Query::base("R").project([0])),
         ]);
         // Q does not mention S.
-        let q = Query::base("R").union(Query::base("T")).when(StateExpr::update(u));
+        let q = Query::base("R")
+            .union(Query::base("T"))
+            .when(StateExpr::update(u));
         let mut trace = RewriteTrace::new();
         let out = fully_lazy(&q, &mut trace);
         assert!(out.is_pure());

@@ -40,9 +40,11 @@ pub fn red_query(q: &Query) -> Result<Query, SubstError> {
             let rho = red_state(eta)?;
             sub_query(&reduced, &rho)
         }
-        Query::Aggregate { input, group_by, aggs } => {
-            Ok(red_query(input)?.aggregate(group_by.clone(), aggs.clone()))
-        }
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Ok(red_query(input)?.aggregate(group_by.clone(), aggs.clone())),
     }
 }
 
@@ -69,7 +71,11 @@ pub fn red_update(u: &Update) -> Result<Update, SubstError> {
         Update::Insert(r, q) => Ok(Update::Insert(r.clone(), red_query(q)?)),
         Update::Delete(r, q) => Ok(Update::Delete(r.clone(), red_query(q)?)),
         Update::Seq(a, b) => Ok(red_update(a)?.then(red_update(b)?)),
-        Update::Cond { guard, then_u, else_u } => Ok(Update::cond(
+        Update::Cond {
+            guard,
+            then_u,
+            else_u,
+        } => Ok(Update::cond(
             red_query(guard)?,
             red_update(then_u)?,
             red_update(else_u)?,
@@ -162,10 +168,7 @@ mod tests {
     /// Nested when inside a substitution binding reduces away.
     #[test]
     fn nested_when_in_binding_reduces() {
-        let inner = Query::base("R").when(StateExpr::update(Update::insert(
-            "R",
-            Query::base("T"),
-        )));
+        let inner = Query::base("R").when(StateExpr::update(Update::insert("R", Query::base("T"))));
         let eta = StateExpr::subst(ExplicitSubst::single("S", inner));
         let rho = red_state(&eta).unwrap();
         assert_eq!(

@@ -58,9 +58,11 @@ pub fn sub_query(q: &Query, rho: &ExplicitSubst) -> Result<Query, SubstError> {
         Query::Join(a, b, p) => Ok(sub_query(a, rho)?.join(sub_query(b, rho)?, p.clone())),
         Query::Diff(a, b) => Ok(sub_query(a, rho)?.diff(sub_query(b, rho)?)),
         Query::When(_, _) => Err(SubstError::ImpureQuery(q.to_string())),
-        Query::Aggregate { input, group_by, aggs } => {
-            Ok(sub_query(input, rho)?.aggregate(group_by.clone(), aggs.clone()))
-        }
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Ok(sub_query(input, rho)?.aggregate(group_by.clone(), aggs.clone())),
     }
 }
 
@@ -147,7 +149,11 @@ pub fn slice(u: &Update) -> Result<ExplicitSubst, SubstError> {
             Query::base(r.clone()).diff(q.clone()),
         )),
         Update::Seq(u1, u2) => compose_pure(&slice(u1)?, &slice(u2)?),
-        Update::Cond { guard, then_u, else_u } => {
+        Update::Cond {
+            guard,
+            then_u,
+            else_u,
+        } => {
             let s_then = slice(then_u)?;
             let s_else = slice(else_u)?;
             if !guard.is_pure() {
@@ -172,7 +178,9 @@ pub fn slice(u: &Update) -> Result<ExplicitSubst, SubstError> {
                     .unwrap_or_else(|| Query::base(name.clone()));
                 out.bind(
                     name,
-                    q_then.product(g.clone()).union(q_else.product(not_g.clone())),
+                    q_then
+                        .product(g.clone())
+                        .union(q_else.product(not_g.clone())),
                 );
             }
             Ok(out)
@@ -186,16 +194,18 @@ pub fn slice(u: &Update) -> Result<ExplicitSubst, SubstError> {
 /// `when` (with explicit substitutions), which ENF permits.
 pub fn slice_hql(u: &Update) -> ExplicitSubst {
     match u {
-        Update::Insert(r, q) => ExplicitSubst::single(
-            r.clone(),
-            Query::base(r.clone()).union(q.clone()),
-        ),
-        Update::Delete(r, q) => ExplicitSubst::single(
-            r.clone(),
-            Query::base(r.clone()).diff(q.clone()),
-        ),
+        Update::Insert(r, q) => {
+            ExplicitSubst::single(r.clone(), Query::base(r.clone()).union(q.clone()))
+        }
+        Update::Delete(r, q) => {
+            ExplicitSubst::single(r.clone(), Query::base(r.clone()).diff(q.clone()))
+        }
         Update::Seq(u1, u2) => compose_suspended(&slice_hql(u1), &slice_hql(u2)),
-        Update::Cond { guard, then_u, else_u } => {
+        Update::Cond {
+            guard,
+            then_u,
+            else_u,
+        } => {
             let s_then = slice_hql(then_u);
             let s_else = slice_hql(else_u);
             let g = guard.clone().project(Vec::<usize>::new());
@@ -216,7 +226,9 @@ pub fn slice_hql(u: &Update) -> ExplicitSubst {
                     .unwrap_or_else(|| Query::base(name.clone()));
                 out.bind(
                     name,
-                    q_then.product(g.clone()).union(q_else.product(not_g.clone())),
+                    q_then
+                        .product(g.clone())
+                        .union(q_else.product(not_g.clone())),
                 );
             }
             out
@@ -241,7 +253,10 @@ mod tests {
             ("R".into(), Query::base("S").diff(Query::base("R"))),
             ("S".into(), sigma_p(Query::base("R"))),
         ]);
-        let q = Query::base("R").product(Query::base("S")).project([2]).union(Query::base("V"));
+        let q = Query::base("R")
+            .product(Query::base("S"))
+            .project([2])
+            .union(Query::base("V"));
         let expected = Query::base("S")
             .diff(Query::base("R"))
             .product(sigma_p(Query::base("R")))
@@ -261,7 +276,10 @@ mod tests {
         ]);
         let join = |a: Query, b: Query| a.join(b, Predicate::col_col(0, CmpOp::Eq, 1));
         let rho2 = ExplicitSubst::new([
-            ("S".into(), join(Query::base("R"), Query::base("T")).project([0])),
+            (
+                "S".into(),
+                join(Query::base("R"), Query::base("T")).project([0]),
+            ),
             ("V".into(), sigma_p(Query::base("S"))),
         ]);
         let composed = compose_pure(&rho1, &rho2).unwrap();
@@ -271,9 +289,7 @@ mod tests {
         );
         assert_eq!(
             composed.get(&"S".into()),
-            Some(
-                &join(Query::base("S").diff(Query::base("R")), Query::base("T")).project([0])
-            )
+            Some(&join(Query::base("S").diff(Query::base("R")), Query::base("T")).project([0]))
         );
         assert_eq!(
             composed.get(&"V".into()),
@@ -292,7 +308,9 @@ mod tests {
             ("S".into(), Query::base("R").union(Query::base("T"))),
             ("V".into(), Query::base("S")),
         ]);
-        let q = Query::base("R").union(Query::base("S")).union(Query::base("V"));
+        let q = Query::base("R")
+            .union(Query::base("S"))
+            .union(Query::base("V"));
         let lhs = sub_query(&q, &compose_pure(&rho1, &rho2).unwrap()).unwrap();
         let rhs = sub_query(&sub_query(&q, &rho2).unwrap(), &rho1).unwrap();
         assert_eq!(lhs, rhs);
@@ -317,10 +335,13 @@ mod tests {
     #[test]
     fn example_3_8() {
         let q1 = Query::base("Q1");
-        let u = Update::insert("R", q1.clone())
-            .then(Update::delete("S", sigma_p(Query::base("R"))));
+        let u =
+            Update::insert("R", q1.clone()).then(Update::delete("S", sigma_p(Query::base("R"))));
         let s = slice(&u).unwrap();
-        assert_eq!(s.get(&"R".into()), Some(&Query::base("R").union(q1.clone())));
+        assert_eq!(
+            s.get(&"R".into()),
+            Some(&Query::base("R").union(q1.clone()))
+        );
         assert_eq!(
             s.get(&"S".into()),
             Some(&Query::base("S").diff(sigma_p(Query::base("R").union(q1))))
@@ -379,8 +400,8 @@ mod tests {
 
     #[test]
     fn slice_of_cond_with_impure_guard_errors() {
-        let impure = Query::base("G")
-            .when(StateExpr::update(Update::insert("G", Query::base("S"))));
+        let impure =
+            Query::base("G").when(StateExpr::update(Update::insert("G", Query::base("S"))));
         let u = Update::cond(
             impure,
             Update::insert("R", Query::base("S")),

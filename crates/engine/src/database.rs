@@ -5,14 +5,12 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use hypoquery_storage::{Catalog, DatabaseState, RelName, Relation, RelSchema, Tuple};
+use hypoquery_storage::{Catalog, DatabaseState, RelName, RelSchema, Relation, Tuple};
 
 use hypoquery_algebra::typing::{arity_of, check_update};
 use hypoquery_algebra::{Query, Update};
 use hypoquery_core::{fully_lazy, to_enf_query, to_mod_enf, RewriteTrace};
-use hypoquery_eval::{
-    algorithm_hql1, algorithm_hql2, algorithm_hql3, eval_pure, eval_update,
-};
+use hypoquery_eval::{algorithm_hql1, algorithm_hql2, algorithm_hql3, eval_pure, eval_update};
 use hypoquery_opt::{optimize, plan, Plan, PlannedStrategy, Statistics};
 use hypoquery_parser::{parse_query_named, parse_update_named};
 
@@ -67,12 +65,18 @@ pub struct Database {
 impl Database {
     /// An empty database with an empty catalog.
     pub fn new() -> Self {
-        Database { state: DatabaseState::new(Catalog::new()), constraints: BTreeMap::new() }
+        Database {
+            state: DatabaseState::new(Catalog::new()),
+            constraints: BTreeMap::new(),
+        }
     }
 
     /// Create over an existing catalog.
     pub fn with_catalog(catalog: Catalog) -> Self {
-        Database { state: DatabaseState::new(catalog), constraints: BTreeMap::new() }
+        Database {
+            state: DatabaseState::new(catalog),
+            constraints: BTreeMap::new(),
+        }
     }
 
     /// Declare a relation with positional columns.
@@ -128,17 +132,14 @@ impl Database {
     }
 
     /// Register an integrity constraint: `violation_query` must stay empty.
-    pub fn add_constraint(
-        &mut self,
-        name: &str,
-        violation_query: &str,
-    ) -> Result<(), EngineError> {
+    pub fn add_constraint(&mut self, name: &str, violation_query: &str) -> Result<(), EngineError> {
         if self.constraints.contains_key(name) {
             return Err(EngineError::DuplicateName(name.to_string()));
         }
         let q = parse_query_named(violation_query, self.state.catalog())?;
         arity_of(&q, self.state.catalog())?;
-        self.constraints.insert(name.to_string(), Constraint { violation_query: q });
+        self.constraints
+            .insert(name.to_string(), Constraint { violation_query: q });
         Ok(())
     }
 
@@ -245,6 +246,38 @@ impl Database {
         }
     }
 
+    /// Run several independent queries in parallel, fanning out across
+    /// the machine's cores (`hypoquery_eval::exec`).
+    ///
+    /// Each query evaluates against the same immutable state — hypothetical
+    /// `when` scenarios build copy-on-write snapshots that physically share
+    /// every untouched relation, so k scenarios over an n-tuple base cost
+    /// O(n + Σ|δᵢ|) memory, not O(k·n). Results (and the first error, if
+    /// any) are exactly those of executing the queries sequentially in
+    /// order.
+    pub fn execute_many(
+        &self,
+        queries: &[Query],
+        strategy: Strategy,
+    ) -> Result<Vec<Relation>, EngineError> {
+        hypoquery_eval::try_parallel_map(queries, |_, q| self.execute(q, strategy))
+    }
+
+    /// Parse, type-check, and run several query sources in parallel.
+    /// Parsing is sequential (cheap); evaluation fans out — see
+    /// [`Database::execute_many`].
+    pub fn query_many(
+        &self,
+        sources: &[impl AsRef<str>],
+        strategy: Strategy,
+    ) -> Result<Vec<Relation>, EngineError> {
+        let queries = sources
+            .iter()
+            .map(|s| self.prepare(s.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.execute_many(&queries, strategy)
+    }
+
     /// Produce the planner's plan for a query.
     pub fn plan_query(&self, q: &Query) -> Plan {
         let stats = Statistics::of(&self.state);
@@ -272,7 +305,11 @@ impl Database {
         let _ = writeln!(out, "query: {q}");
         let _ = writeln!(out, "{p}");
         if !p.when_trace.steps.is_empty() {
-            let _ = writeln!(out, "EQUIV_when rewrites applied: {}", p.when_trace.steps.len());
+            let _ = writeln!(
+                out,
+                "EQUIV_when rewrites applied: {}",
+                p.when_trace.steps.len()
+            );
         }
         if p.ra_trace.total() > 0 {
             let _ = writeln!(out, "RA rewrites applied:");
@@ -323,12 +360,16 @@ impl Database {
     /// Restore a database from a plain-text dump. Constraints are not part
     /// of the dump and start empty.
     pub fn restore(dump: &str) -> Result<Database, EngineError> {
-        let state = hypoquery_storage::load_state(dump)
-            .map_err(|e| EngineError::Parse(hypoquery_parser::ParseError {
+        let state = hypoquery_storage::load_state(dump).map_err(|e| {
+            EngineError::Parse(hypoquery_parser::ParseError {
                 offset: e.line,
                 message: e.to_string(),
-            }))?;
-        Ok(Database { state, constraints: BTreeMap::new() })
+            })
+        })?;
+        Ok(Database {
+            state,
+            constraints: BTreeMap::new(),
+        })
     }
 
     /// Apply an update without constraint checking (loading, tests).
@@ -354,7 +395,8 @@ mod tests {
         let mut db = Database::new();
         db.define("emp", 2).unwrap(); // (id, salary)
         db.define("dept", 2).unwrap(); // (id, dept)
-        db.load("emp", [tuple![1, 100], tuple![2, 200], tuple![3, 300]]).unwrap();
+        db.load("emp", [tuple![1, 100], tuple![2, 200], tuple![3, 300]])
+            .unwrap();
         db.load("dept", [tuple![1, 10], tuple![2, 20]]).unwrap();
         db
     }
@@ -375,7 +417,12 @@ mod tests {
                  when {insert into dept (row(3, 30))} \
                  when {delete from emp (select #1 > 250 (emp))}";
         let expected = db.query_with(q, Strategy::Lazy).unwrap();
-        for s in [Strategy::Auto, Strategy::Hql1, Strategy::Hql2, Strategy::Delta] {
+        for s in [
+            Strategy::Auto,
+            Strategy::Hql1,
+            Strategy::Hql2,
+            Strategy::Delta,
+        ] {
             assert_eq!(db.query_with(q, s).unwrap(), expected, "strategy {s}");
         }
         assert_eq!(expected.len(), 2);
@@ -393,7 +440,8 @@ mod tests {
         let mut db = db();
         db.execute_update("insert into emp (row(4, 400))").unwrap();
         assert_eq!(db.query("emp").unwrap().len(), 4);
-        db.execute_update("delete from emp (select #1 < 250 (emp))").unwrap();
+        db.execute_update("delete from emp (select #1 < 250 (emp))")
+            .unwrap();
         assert_eq!(db.query("emp").unwrap().len(), 2);
     }
 
@@ -401,13 +449,19 @@ mod tests {
     fn constraints_reject_bad_updates_hypothetically() {
         let mut db = db();
         // No employee may earn more than 500.
-        db.add_constraint("salary_cap", "select #1 > 500 (emp)").unwrap();
+        db.add_constraint("salary_cap", "select #1 > 500 (emp)")
+            .unwrap();
         // OK update passes.
         db.execute_update("insert into emp (row(4, 400))").unwrap();
         // Violating update is rejected and state unchanged.
-        let err = db.execute_update("insert into emp (row(5, 900))").unwrap_err();
+        let err = db
+            .execute_update("insert into emp (row(5, 900))")
+            .unwrap_err();
         match err {
-            EngineError::ConstraintViolation { constraint, violations } => {
+            EngineError::ConstraintViolation {
+                constraint,
+                violations,
+            } => {
                 assert_eq!(constraint, "salary_cap");
                 assert_eq!(violations, 1);
             }
@@ -424,9 +478,17 @@ mod tests {
     #[test]
     fn type_errors_surface() {
         let mut db = db();
-        assert!(matches!(db.query("emp union nope"), Err(EngineError::Type(_))));
-        assert!(matches!(db.query("emp union ("), Err(EngineError::Parse(_))));
-        assert!(db.execute_update("insert into emp (dept join dept on true)").is_err());
+        assert!(matches!(
+            db.query("emp union nope"),
+            Err(EngineError::Type(_))
+        ));
+        assert!(matches!(
+            db.query("emp union ("),
+            Err(EngineError::Parse(_))
+        ));
+        assert!(db
+            .execute_update("insert into emp (dept join dept on true)")
+            .is_err());
     }
 
     #[test]
@@ -447,11 +509,10 @@ mod tests {
         assert_eq!(out.len(), 1);
         let out = db.query("emp join dept on id = emp_id").unwrap();
         assert_eq!(out.len(), 1);
-        db.add_constraint("cap", "select salary > 1000 (emp)").unwrap();
+        db.add_constraint("cap", "select salary > 1000 (emp)")
+            .unwrap();
         db.execute_update("insert into emp (row(3, 300))").unwrap();
-        assert!(db
-            .execute_update("insert into emp (row(4, 2000))")
-            .is_err());
+        assert!(db.execute_update("insert into emp (row(4, 2000))").is_err());
         // Hypothetical with named columns.
         let out = db
             .query("select salary >= 200 (emp) when {delete from emp (select id = 2 (emp))}")
@@ -482,7 +543,9 @@ mod tests {
         assert!(table.contains("salary"), "{table}");
         assert!(table.contains("100"), "{table}");
         // Anonymous columns fall back to positions.
-        let table = db.query_table("aggregate [; count] (emp) times project 0 (emp)").unwrap();
+        let table = db
+            .query_table("aggregate [; count] (emp) times project 0 (emp)")
+            .unwrap();
         assert!(table.contains("count"), "{table}");
     }
 

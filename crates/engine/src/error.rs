@@ -44,7 +44,10 @@ impl fmt::Display for EngineError {
             EngineError::Eval(e) => write!(f, "{e}"),
             EngineError::Storage(e) => write!(f, "{e}"),
             EngineError::Enf(e) => write!(f, "{e}"),
-            EngineError::ConstraintViolation { constraint, violations } => write!(
+            EngineError::ConstraintViolation {
+                constraint,
+                violations,
+            } => write!(
                 f,
                 "update aborted: constraint `{constraint}` violated by {violations} tuple(s)"
             ),
@@ -92,12 +95,23 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = EngineError::ConstraintViolation { constraint: "c1".into(), violations: 3 };
+        let e = EngineError::ConstraintViolation {
+            constraint: "c1".into(),
+            violations: 3,
+        };
         assert!(e.to_string().contains("c1"));
         assert!(e.to_string().contains("3"));
-        assert!(EngineError::DuplicateName("x".into()).to_string().contains("already in use"));
-        assert!(EngineError::UnknownName("y".into()).to_string().contains("unknown name"));
-        let p: EngineError = ParseError { offset: 0, message: "m".into() }.into();
+        assert!(EngineError::DuplicateName("x".into())
+            .to_string()
+            .contains("already in use"));
+        assert!(EngineError::UnknownName("y".into())
+            .to_string()
+            .contains("unknown name"));
+        let p: EngineError = ParseError {
+            offset: 0,
+            message: "m".into(),
+        }
+        .into();
         assert!(p.to_string().contains("parse error"));
     }
 }

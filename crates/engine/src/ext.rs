@@ -48,9 +48,7 @@ fn expand_query(q: &Query, defs: &ExplicitSubst) -> Query {
             }
             expand_query(body, &body_defs).when(expand_state(eta, defs))
         }
-        other => other
-            .clone()
-            .map_subqueries(|sub| expand_query(&sub, defs)),
+        other => other.clone().map_subqueries(|sub| expand_query(&sub, defs)),
     }
 }
 
@@ -76,10 +74,7 @@ fn expand_state(eta: &StateExpr, defs: &ExplicitSubst) -> StateExpr {
     }
 }
 
-fn expand_update(
-    u: &hypoquery_algebra::Update,
-    defs: &ExplicitSubst,
-) -> hypoquery_algebra::Update {
+fn expand_update(u: &hypoquery_algebra::Update, defs: &ExplicitSubst) -> hypoquery_algebra::Update {
     use hypoquery_algebra::Update;
     match u {
         Update::Insert(r, q) => Update::Insert(r.clone(), expand_query(q, defs)),
@@ -94,7 +89,11 @@ fn expand_update(
             }
             expand_update(a, defs).then(expand_update(b, &b_defs))
         }
-        Update::Cond { guard, then_u, else_u } => Update::cond(
+        Update::Cond {
+            guard,
+            then_u,
+            else_u,
+        } => Update::cond(
             expand_query(guard, defs),
             expand_update(then_u, defs),
             expand_update(else_u, defs),
@@ -235,10 +234,7 @@ mod tests {
         let db = db();
         // η1 = ins(R, S): reads S. η2 = ins(S, row(7,7)): changes S.
         let e1 = StateExpr::update(Update::insert("R", Query::base("S")));
-        let e2 = StateExpr::update(Update::insert(
-            "S",
-            Query::singleton(tuple![7, 7]),
-        ));
+        let e2 = StateExpr::update(Update::insert("S", Query::singleton(tuple![7, 7])));
         let w = state_when(&e1, &e2);
         let result = eval_state(&w, db.state()).unwrap();
         // R gained S-as-seen-under-η2 (2 rows): total 4.

@@ -40,7 +40,11 @@ impl PreparedState {
     pub fn new(db: &Database, eta: StateExpr) -> Result<PreparedState, EngineError> {
         check_state_expr(&eta, db.catalog())?;
         let rho = lazy_state(&eta, &mut RewriteTrace::new());
-        Ok(PreparedState { eta, rho, xsub: None })
+        Ok(PreparedState {
+            eta,
+            rho,
+            xsub: None,
+        })
     }
 
     /// Prepare from surface syntax.
@@ -88,8 +92,7 @@ impl PreparedState {
             Some(e) => Ok(filter1(q, e, db.state())?),
             None => {
                 let substituted = if q.is_pure() {
-                    sub_query(q, &self.rho)
-                        .expect("pure query under pure substitution")
+                    sub_query(q, &self.rho).expect("pure query under pure substitution")
                 } else {
                     // Hypothetical family members: wrap and let the
                     // planner handle the nesting.
@@ -108,6 +111,33 @@ impl PreparedState {
         let q = parse_query_named(src, db.catalog())?;
         self.query(db, &q)
     }
+
+    /// Run a whole family of queries against this hypothetical state,
+    /// fanning out across cores (Example 2.2 at scale).
+    ///
+    /// The prepared substitution — and the materialization snapshot, if
+    /// held — is shared read-only by every worker; results are exactly
+    /// those of calling [`PreparedState::query`] per member in order.
+    pub fn query_batch(
+        &self,
+        db: &Database,
+        family: &[Query],
+    ) -> Result<Vec<Relation>, EngineError> {
+        hypoquery_eval::try_parallel_map(family, |_, q| self.query(db, q))
+    }
+
+    /// Surface-syntax variant of [`PreparedState::query_batch`].
+    pub fn query_batch_src(
+        &self,
+        db: &Database,
+        family: &[impl AsRef<str>],
+    ) -> Result<Vec<Relation>, EngineError> {
+        let queries = family
+            .iter()
+            .map(|s| Ok(parse_query_named(s.as_ref(), db.catalog())?))
+            .collect::<Result<Vec<_>, EngineError>>()?;
+        self.query_batch(db, &queries)
+    }
 }
 
 #[cfg(test)]
@@ -119,7 +149,8 @@ mod tests {
         let mut db = Database::new();
         db.define_named("emp", ["id", "salary"]).unwrap();
         db.define("bonus", 2).unwrap();
-        db.load("emp", [tuple![1, 100], tuple![2, 200], tuple![3, 300]]).unwrap();
+        db.load("emp", [tuple![1, 100], tuple![2, 200], tuple![3, 300]])
+            .unwrap();
         db
     }
 
@@ -137,8 +168,10 @@ mod tests {
         let db = db();
         let mut p = prepared(&db);
         let family = ["emp", "bonus", "emp join bonus on #0 = #2"];
-        let lazy: Vec<Relation> =
-            family.iter().map(|q| p.query_src(&db, q).unwrap()).collect();
+        let lazy: Vec<Relation> = family
+            .iter()
+            .map(|q| p.query_src(&db, q).unwrap())
+            .collect();
         p.materialize(&db).unwrap();
         assert!(p.is_materialized());
         for (q, expect) in family.iter().zip(&lazy) {
@@ -146,6 +179,24 @@ mod tests {
         }
         // The bonus view sees the post-delete emp (2 rows).
         assert_eq!(lazy[1].len(), 2);
+    }
+
+    #[test]
+    fn query_batch_matches_sequential() {
+        let db = db();
+        let mut p = prepared(&db);
+        let family = ["emp", "bonus", "emp join bonus on #0 = #2"];
+        for materialized in [false, true] {
+            if materialized {
+                p.materialize(&db).unwrap();
+            }
+            let seq: Vec<Relation> = family
+                .iter()
+                .map(|q| p.query_src(&db, q).unwrap())
+                .collect();
+            let par = p.query_batch_src(&db, &family).unwrap();
+            assert_eq!(par, seq, "materialized={materialized}");
+        }
     }
 
     #[test]
@@ -159,7 +210,7 @@ mod tests {
         db.execute_update("insert into emp (row(4, 120))").unwrap();
         let after = p.query_src(&db, "emp").unwrap();
         assert_eq!(after.len(), 2); // 120 < 150 is hypothetically deleted
-        // A surviving insert shows the substitution reads fresh data.
+                                    // A surviving insert shows the substitution reads fresh data.
         db.execute_update("insert into emp (row(5, 500))").unwrap();
         let after = p.query_src(&db, "emp").unwrap();
         assert_eq!(after.len(), 3);

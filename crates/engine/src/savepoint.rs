@@ -120,7 +120,8 @@ mod tests {
         let mut db = Database::new();
         db.define_named("acct", ["id", "bal"]).unwrap();
         db.load("acct", [tuple![1, 100], tuple![2, 50]]).unwrap();
-        db.add_constraint("no_neg", "select bal < 0 (acct)").unwrap();
+        db.add_constraint("no_neg", "select bal < 0 (acct)")
+            .unwrap();
         db
     }
 
@@ -148,7 +149,8 @@ mod tests {
         assert_eq!(tx.query(&base, "acct").unwrap().len(), 3);
         assert_eq!(tx.len(), 1);
         // Savepoint survives and can be reused.
-        tx.update(&base, "delete from acct (select id = 1 (acct))").unwrap();
+        tx.update(&base, "delete from acct (select id = 1 (acct))")
+            .unwrap();
         tx.rollback_to("sp1").unwrap();
         assert_eq!(tx.len(), 1);
         // Unknown / duplicate names error.

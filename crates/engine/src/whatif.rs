@@ -55,10 +55,33 @@ impl WhatIfTree {
             }
         }
         let u = parse_update_named(update, db.catalog())?;
-        check_update(&u, db.catalog())?;
+        self.branch_update(db, name, parent, u)
+    }
+
+    /// AST form of [`WhatIfTree::branch`], for callers that already hold
+    /// an [`Update`] (programmatic tree construction, test generators).
+    pub fn branch_update(
+        &mut self,
+        db: &Database,
+        name: &str,
+        parent: Option<&str>,
+        update: Update,
+    ) -> Result<(), EngineError> {
+        if self.branches.contains_key(name) {
+            return Err(EngineError::DuplicateName(name.to_string()));
+        }
+        if let Some(p) = parent {
+            if !self.branches.contains_key(p) {
+                return Err(EngineError::UnknownName(p.to_string()));
+            }
+        }
+        check_update(&update, db.catalog())?;
         self.branches.insert(
             name.to_string(),
-            Branch { parent: parent.map(str::to_string), update: u },
+            Branch {
+                parent: parent.map(str::to_string),
+                update,
+            },
         );
         Ok(())
     }
@@ -109,6 +132,36 @@ impl WhatIfTree {
         db.execute(&self.at(branch, &q)?, strategy)
     }
 
+    /// Run `query_src` in **every** branch's state, in parallel, returning
+    /// `branch name → result` for the whole tree.
+    ///
+    /// This is the decision-support fan-out of Example 2.1 done at once:
+    /// each branch evaluates against a copy-on-write snapshot sharing the
+    /// real state's untouched relations, and independent branches spread
+    /// across cores (`hypoquery_eval::exec`). The result for each branch
+    /// is identical to [`WhatIfTree::query_at`] on that branch.
+    pub fn query_all_branches(
+        &self,
+        db: &Database,
+        query_src: &str,
+        strategy: Strategy,
+    ) -> Result<BTreeMap<String, Relation>, EngineError> {
+        let q = parse_query_named(query_src, db.catalog())?;
+        let jobs: Vec<(&str, Query)> = self
+            .branches
+            .keys()
+            .map(|name| Ok((name.as_str(), self.at(name, &q)?)))
+            .collect::<Result<_, EngineError>>()?;
+        let results = hypoquery_eval::try_parallel_map(&jobs, |_, (_, wrapped)| {
+            db.execute(wrapped, strategy)
+        })?;
+        Ok(jobs
+            .iter()
+            .map(|(name, _)| name.to_string())
+            .zip(results)
+            .collect())
+    }
+
     /// Example 2.1's comparison query: the tuples `query_src` returns in
     /// branch `b1` but not in `b2` — `(Q when η₁) − (Q when η₂)`, both
     /// relative to the current state.
@@ -155,10 +208,16 @@ mod tests {
     fn setup() -> (Database, WhatIfTree) {
         let mut db = Database::new();
         db.define("inv", 2).unwrap(); // (item, qty)
-        db.load("inv", [tuple![1, 10], tuple![2, 20], tuple![3, 30]]).unwrap();
-        let mut tree = WhatIfTree::new();
-        tree.branch(&db, "base_plan", None, "delete from inv (select #1 < 15 (inv))")
+        db.load("inv", [tuple![1, 10], tuple![2, 20], tuple![3, 30]])
             .unwrap();
+        let mut tree = WhatIfTree::new();
+        tree.branch(
+            &db,
+            "base_plan",
+            None,
+            "delete from inv (select #1 < 15 (inv))",
+        )
+        .unwrap();
         tree.branch(
             &db,
             "restock",
@@ -183,7 +242,30 @@ mod tests {
         assert_eq!(at("base_plan"), 2); // item 1 removed
         assert_eq!(at("restock"), 3); // + item 4
         assert_eq!(at("clearance"), 1); // item 3 also removed
-        // The real state is untouched.
+                                        // The real state is untouched.
+        assert_eq!(db.query("inv").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn query_all_branches_matches_query_at() {
+        let (db, tree) = setup();
+        for s in [
+            Strategy::Auto,
+            Strategy::Lazy,
+            Strategy::Hql1,
+            Strategy::Hql2,
+        ] {
+            let all = tree.query_all_branches(&db, "inv", s).unwrap();
+            assert_eq!(all.len(), 3);
+            for name in tree.branch_names() {
+                assert_eq!(
+                    all[name],
+                    tree.query_at(&db, name, "inv", s).unwrap(),
+                    "branch {name}, strategy {s}"
+                );
+            }
+        }
+        // The real state is untouched by the fan-out.
         assert_eq!(db.query("inv").unwrap().len(), 3);
     }
 
@@ -198,7 +280,8 @@ mod tests {
         // Strategies agree.
         for s in [Strategy::Lazy, Strategy::Hql1, Strategy::Hql2] {
             assert_eq!(
-                tree.diff_between(&db, "restock", "clearance", "inv", s).unwrap(),
+                tree.diff_between(&db, "restock", "clearance", "inv", s)
+                    .unwrap(),
                 d
             );
         }
@@ -211,7 +294,9 @@ mod tests {
         // Evaluate directly: should equal querying at the branch.
         let q = Query::base("inv").when(eta);
         let via_state = db.execute(&q, Strategy::Lazy).unwrap();
-        let via_query = tree.query_at(&db, "restock", "inv", Strategy::Lazy).unwrap();
+        let via_query = tree
+            .query_at(&db, "restock", "inv", Strategy::Lazy)
+            .unwrap();
         assert_eq!(via_state, via_query);
     }
 

@@ -40,7 +40,10 @@ pub struct BagState {
 impl BagState {
     /// The all-empty state over a catalog.
     pub fn new(catalog: Catalog) -> Self {
-        BagState { catalog, rels: BTreeMap::new() }
+        BagState {
+            catalog,
+            rels: BTreeMap::new(),
+        }
     }
 
     /// Build from a set-semantics state (multiplicity 1 everywhere).
@@ -59,10 +62,7 @@ impl BagState {
 
     /// Read `DB(R)`.
     pub fn get(&self, name: &RelName) -> Result<BagRelation, EvalError> {
-        let arity = self
-            .catalog
-            .arity(name)
-            .map_err(EvalError::Storage)?;
+        let arity = self.catalog.arity(name).map_err(EvalError::Storage)?;
         Ok(self
             .rels
             .get(name)
@@ -117,9 +117,9 @@ pub fn eval_bag_query(q: &Query, db: &BagState) -> Result<BagRelation, EvalError
         Query::Singleton(t) => Ok(BagRelation::singleton(t.clone())),
         Query::Empty { arity } => Ok(BagRelation::empty(*arity)),
         Query::Select(inner, p) => Ok(eval_bag_query(inner, db)?.select(|t| p.eval(t))),
-        Query::Project(inner, cols) => {
-            Ok(eval_bag_query(inner, db)?.project(cols).map_err(EvalError::Storage)?)
-        }
+        Query::Project(inner, cols) => Ok(eval_bag_query(inner, db)?
+            .project(cols)
+            .map_err(EvalError::Storage)?),
         Query::Union(a, b) => Ok(eval_bag_query(a, db)?
             .union(&eval_bag_query(b, db)?)
             .map_err(EvalError::Storage)?),
@@ -141,9 +141,11 @@ pub fn eval_bag_query(q: &Query, db: &BagState) -> Result<BagRelation, EvalError
             let hyp = eval_bag_state(eta, db)?;
             eval_bag_query(inner, &hyp)
         }
-        Query::Aggregate { input, group_by, aggs } => {
-            eval_bag_aggregate(&eval_bag_query(input, db)?, group_by, aggs)
-        }
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => eval_bag_aggregate(&eval_bag_query(input, db)?, group_by, aggs),
     }
 }
 
@@ -161,11 +163,18 @@ pub fn eval_bag_update(u: &Update, db: &BagState) -> Result<BagState, EvalError>
             let v = eval_bag_query(q, db)?;
             let cur = db.get(name)?;
             let mut out = db.clone();
-            out.set(name.clone(), cur.difference(&v).map_err(EvalError::Storage)?)?;
+            out.set(
+                name.clone(),
+                cur.difference(&v).map_err(EvalError::Storage)?,
+            )?;
             Ok(out)
         }
         Update::Seq(a, b) => eval_bag_update(b, &eval_bag_update(a, db)?),
-        Update::Cond { guard, then_u, else_u } => {
+        Update::Cond {
+            guard,
+            then_u,
+            else_u,
+        } => {
             if eval_bag_query(guard, db)?.is_empty() {
                 eval_bag_update(else_u, db)
             } else {
@@ -213,9 +222,7 @@ fn eval_bag_aggregate(
         let mut fields: Vec<Value> = key.fields().to_vec();
         for agg in aggs {
             fields.push(match agg {
-                AggExpr::Count => {
-                    Value::int(members.iter().map(|(_, m)| *m as i64).sum())
-                }
+                AggExpr::Count => Value::int(members.iter().map(|(_, m)| *m as i64).sum()),
                 AggExpr::Sum(col) => {
                     let mut total = 0i64;
                     for (t, m) in &members {
@@ -243,7 +250,8 @@ fn eval_bag_aggregate(
                     .expect("groups are non-empty"),
             });
         }
-        out.insert(Tuple::new(fields), 1).map_err(EvalError::Storage)?;
+        out.insert(Tuple::new(fields), 1)
+            .map_err(EvalError::Storage)?;
     }
     Ok(out)
 }
@@ -292,8 +300,7 @@ mod tests {
         // red(Q when {U}) evaluated in bag semantics equals the direct
         // bag evaluation — the §6 extension claim, concretely.
         let db = db();
-        let u = Update::insert("R", Query::base("S"))
-            .then(Update::delete("R", Query::base("S")));
+        let u = Update::insert("R", Query::base("S")).then(Update::delete("R", Query::base("S")));
         let q = Query::base("R")
             .union(Query::base("R"))
             .when(StateExpr::update(u));
@@ -326,7 +333,10 @@ mod tests {
         db2.insert_row("T", tuple![1, 10], 1).unwrap();
         db2.insert_row("T", tuple![1, 20], 1).unwrap();
         let q = Query::base("T").project([0]);
-        assert_eq!(eval_bag_query(&q, &db2).unwrap().multiplicity(&tuple![1]), 2);
+        assert_eq!(
+            eval_bag_query(&q, &db2).unwrap().multiplicity(&tuple![1]),
+            2
+        );
     }
 
     #[test]

@@ -43,19 +43,28 @@ pub struct RelDelta {
 impl RelDelta {
     /// The empty delta of a given arity.
     pub fn empty(arity: usize) -> Self {
-        RelDelta { deleted: Relation::empty(arity), inserted: Relation::empty(arity) }
+        RelDelta {
+            deleted: Relation::empty(arity),
+            inserted: Relation::empty(arity),
+        }
     }
 
     /// A pure-deletion delta.
     pub fn deletion(deleted: Relation) -> Self {
         let arity = deleted.arity();
-        RelDelta { deleted, inserted: Relation::empty(arity) }
+        RelDelta {
+            deleted,
+            inserted: Relation::empty(arity),
+        }
     }
 
     /// A pure-insertion delta.
     pub fn insertion(inserted: Relation) -> Self {
         let arity = inserted.arity();
-        RelDelta { deleted: Relation::empty(arity), inserted }
+        RelDelta {
+            deleted: Relation::empty(arity),
+            inserted,
+        }
     }
 
     /// Number of tuples in the delta (|R∇| + |RΔ|).
@@ -83,7 +92,9 @@ impl DeltaValue {
 
     /// Build from bindings.
     pub fn new(bindings: impl IntoIterator<Item = (RelName, RelDelta)>) -> Self {
-        DeltaValue { map: bindings.into_iter().collect() }
+        DeltaValue {
+            map: bindings.into_iter().collect(),
+        }
     }
 
     /// Bind (or replace) the delta for `name`.
@@ -117,13 +128,20 @@ impl DeltaValue {
         let mut out = db.clone();
         for (name, d) in &self.map {
             let base = db.get(name)?;
-            out.set(name.clone(), base.difference(&d.deleted)?.union(&d.inserted)?)?;
+            out.set(
+                name.clone(),
+                base.difference(&d.deleted)?.union(&d.inserted)?,
+            )?;
         }
         Ok(out)
     }
 
     /// The value of `R` under this delta in `db`, materialized.
-    pub fn relation_under(&self, name: &RelName, db: &DatabaseState) -> Result<Relation, EvalError> {
+    pub fn relation_under(
+        &self,
+        name: &RelName,
+        db: &DatabaseState,
+    ) -> Result<Relation, EvalError> {
         let base = db.get(name)?;
         match self.map.get(name) {
             None => Ok(base),
@@ -344,9 +362,11 @@ pub fn eval_filter_d(
             ))
         }
         Query::When(_, _) => Err(EvalError::UnsupportedShape(q.to_string())),
-        Query::Aggregate { input, group_by, aggs } => {
-            eval_aggregate(&eval_filter_d(input, delta, db)?, group_by, aggs)
-        }
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => eval_aggregate(&eval_filter_d(input, delta, db)?, group_by, aggs),
     }
 }
 
@@ -365,8 +385,10 @@ mod tests {
         cat.declare_arity("R", 2).unwrap();
         cat.declare_arity("S", 2).unwrap();
         let mut db = DatabaseState::new(cat);
-        db.insert_rows("R", [tuple![1, 10], tuple![2, 20], tuple![3, 30]]).unwrap();
-        db.insert_rows("S", [tuple![2, 200], tuple![3, 300], tuple![4, 400]]).unwrap();
+        db.insert_rows("R", [tuple![1, 10], tuple![2, 20], tuple![3, 30]])
+            .unwrap();
+        db.insert_rows("S", [tuple![2, 200], tuple![3, 300], tuple![4, 400]])
+            .unwrap();
         db
     }
 
@@ -385,7 +407,10 @@ mod tests {
             },
         )]);
         let out = d.apply(&db).unwrap();
-        assert_eq!(out.get(&"R".into()).unwrap(), rel2(&[[2, 20], [3, 30], [9, 90]]));
+        assert_eq!(
+            out.get(&"R".into()).unwrap(),
+            rel2(&[[2, 20], [3, 30], [9, 90]])
+        );
         assert_eq!(out.get(&"S".into()).unwrap(), db.get(&"S".into()).unwrap());
     }
 
@@ -394,11 +419,17 @@ mod tests {
         let db = db();
         let d1 = DeltaValue::new([(
             "R".into(),
-            RelDelta { deleted: rel2(&[[1, 10]]), inserted: rel2(&[[9, 90]]) },
+            RelDelta {
+                deleted: rel2(&[[1, 10]]),
+                inserted: rel2(&[[9, 90]]),
+            },
         )]);
         let d2 = DeltaValue::new([(
             "R".into(),
-            RelDelta { deleted: rel2(&[[9, 90], [2, 20]]), inserted: rel2(&[[1, 10]]) },
+            RelDelta {
+                deleted: rel2(&[[9, 90], [2, 20]]),
+                inserted: rel2(&[[1, 10]]),
+            },
         )]);
         let smashed = d1.smash(&d2).unwrap();
         let lhs = smashed.apply(&db).unwrap();
@@ -429,15 +460,23 @@ mod tests {
             .collect();
         assert_eq!(vals, [1, 3, 4, 5, 6]);
         // No delta: base order.
-        let vals: Vec<i64> = effective_iter(&base, None).map(|t| t[0].as_int().unwrap()).collect();
+        let vals: Vec<i64> = effective_iter(&base, None)
+            .map(|t| t[0].as_int().unwrap())
+            .collect();
         assert_eq!(vals, [1, 2, 3, 5]);
     }
 
     #[test]
     fn join_when_matches_materialized_join() {
         let db = db();
-        let rd = RelDelta { deleted: rel2(&[[2, 20]]), inserted: rel2(&[[4, 40]]) };
-        let sd = RelDelta { deleted: rel2(&[[4, 400]]), inserted: rel2(&[[1, 100]]) };
+        let rd = RelDelta {
+            deleted: rel2(&[[2, 20]]),
+            inserted: rel2(&[[4, 40]]),
+        };
+        let sd = RelDelta {
+            deleted: rel2(&[[4, 400]]),
+            inserted: rel2(&[[1, 100]]),
+        };
         let p = Predicate::col_col(0, CmpOp::Eq, 2);
         let fast = join_when(
             &db.get(&"R".into()).unwrap(),
@@ -459,8 +498,14 @@ mod tests {
     fn eval_filter_d_equals_eval_in_applied_state() {
         let db = db();
         let d = DeltaValue::new([
-            ("R".into(), RelDelta { deleted: rel2(&[[1, 10]]), inserted: rel2(&[[4, 44]]) }),
-            ("S".into(), RelDelta::insertion(rel2(&[[1, 111]])) ),
+            (
+                "R".into(),
+                RelDelta {
+                    deleted: rel2(&[[1, 10]]),
+                    inserted: rel2(&[[4, 44]]),
+                },
+            ),
+            ("S".into(), RelDelta::insertion(rel2(&[[1, 111]]))),
         ]);
         let q = Query::base("R")
             .join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2))
@@ -486,7 +531,10 @@ mod tests {
     fn display_shows_delta_sizes() {
         let d = DeltaValue::new([(
             "R".into(),
-            RelDelta { deleted: rel(&[1]), inserted: rel(&[2, 3]) },
+            RelDelta {
+                deleted: rel(&[1]),
+                inserted: rel(&[2, 3]),
+            },
         )]);
         assert_eq!(d.to_string(), "{(−1, +2)/R}");
         assert_eq!(d.total_tuples(), 3);

@@ -55,10 +55,7 @@ pub fn eval_pure(q: &Query, r: &impl Resolver) -> Result<Relation, EvalError> {
     Ok(eval_pure_cow(q, r)?.into_owned())
 }
 
-fn eval_pure_cow<'a>(
-    q: &Query,
-    r: &'a impl Resolver,
-) -> Result<Cow<'a, Relation>, EvalError> {
+fn eval_pure_cow<'a>(q: &Query, r: &'a impl Resolver) -> Result<Cow<'a, Relation>, EvalError> {
     match q {
         Query::Base(name) => r.resolve(name),
         Query::Singleton(t) => Ok(Cow::Owned(Relation::singleton(t.clone()))),
@@ -92,7 +89,11 @@ fn eval_pure_cow<'a>(
             Ok(Cow::Owned(join::join(&a, &b, p)))
         }
         Query::When(_, _) => Err(EvalError::UnsupportedShape(q.to_string())),
-        Query::Aggregate { input, group_by, aggs } => {
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let input = eval_pure_cow(input, r)?;
             Ok(Cow::Owned(eval_aggregate(&input, group_by, aggs)?))
         }
@@ -113,12 +114,12 @@ pub fn eval_query(q: &Query, db: &DatabaseState) -> Result<Relation, EvalError> 
         Query::Intersect(a, b) => Ok(eval_query(a, db)?.intersect(&eval_query(b, db)?)?),
         Query::Diff(a, b) => Ok(eval_query(a, db)?.difference(&eval_query(b, db)?)?),
         Query::Product(a, b) => Ok(eval_query(a, db)?.product(&eval_query(b, db)?)),
-        Query::Join(a, b, p) => {
-            Ok(join::join(&eval_query(a, db)?, &eval_query(b, db)?, p))
-        }
-        Query::Aggregate { input, group_by, aggs } => {
-            eval_aggregate(&eval_query(input, db)?, group_by, aggs)
-        }
+        Query::Join(a, b, p) => Ok(join::join(&eval_query(a, db)?, &eval_query(b, db)?, p)),
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => eval_aggregate(&eval_query(input, db)?, group_by, aggs),
     }
 }
 
@@ -137,7 +138,11 @@ pub fn eval_update(u: &Update, db: &DatabaseState) -> Result<DatabaseState, Eval
             Ok(db.with_binding(name.clone(), cur.difference(&v)?)?)
         }
         Update::Seq(a, b) => eval_update(b, &eval_update(a, db)?),
-        Update::Cond { guard, then_u, else_u } => {
+        Update::Cond {
+            guard,
+            then_u,
+            else_u,
+        } => {
             if eval_query(guard, db)?.is_empty() {
                 eval_update(else_u, db)
             } else {
@@ -241,7 +246,8 @@ mod tests {
         cat.declare_arity("T", 1).unwrap();
         let mut db = DatabaseState::new(cat);
         db.insert_rows("R", [tuple![1, 10], tuple![2, 20]]).unwrap();
-        db.insert_rows("S", [tuple![2, 200], tuple![3, 300]]).unwrap();
+        db.insert_rows("S", [tuple![2, 200], tuple![3, 300]])
+            .unwrap();
         db.insert_rows("T", [tuple![7]]).unwrap();
         db
     }
@@ -256,7 +262,10 @@ mod tests {
         let q = Query::base("R").select(Predicate::col_cmp(0, CmpOp::Ge, 2));
         assert_eq!(eval_query(&q, &db).unwrap().len(), 1);
         let q = Query::base("R").project([0]);
-        assert_eq!(eval_query(&q, &db).unwrap(), Relation::from_rows(1, [tuple![1], tuple![2]]).unwrap());
+        assert_eq!(
+            eval_query(&q, &db).unwrap(),
+            Relation::from_rows(1, [tuple![1], tuple![2]]).unwrap()
+        );
         let q = Query::base("R").join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2));
         let out = eval_query(&q, &db).unwrap();
         assert_eq!(out.len(), 1);
@@ -273,12 +282,14 @@ mod tests {
         // Original untouched.
         assert_eq!(db.get(&"R".into()).unwrap().len(), 2);
         // del(R, σ_{#0=1}(R)) removes one row.
-        let u = Update::delete("R", Query::base("R").select(Predicate::col_cmp(0, CmpOp::Eq, 1)));
+        let u = Update::delete(
+            "R",
+            Query::base("R").select(Predicate::col_cmp(0, CmpOp::Eq, 1)),
+        );
         let db3 = eval_update(&u, &db).unwrap();
         assert_eq!(db3.get(&"R".into()).unwrap().len(), 1);
         // Sequencing: later updates see earlier effects.
-        let u = Update::insert("R", Query::base("S"))
-            .then(Update::delete("R", Query::base("R")));
+        let u = Update::insert("R", Query::base("S")).then(Update::delete("R", Query::base("R")));
         let db4 = eval_update(&u, &db).unwrap();
         assert!(db4.get(&"R".into()).unwrap().is_empty());
     }
@@ -290,11 +301,22 @@ mod tests {
         let shrink = Update::delete("R", Query::base("R"));
         // Guard non-empty: then-branch.
         let u = Update::cond(Query::base("T"), grow.clone(), shrink.clone());
-        assert_eq!(eval_update(&u, &db).unwrap().get(&"R".into()).unwrap().len(), 4);
+        assert_eq!(
+            eval_update(&u, &db)
+                .unwrap()
+                .get(&"R".into())
+                .unwrap()
+                .len(),
+            4
+        );
         // Guard empty: else-branch.
         let empty_guard = Query::base("T").select(Predicate::col_cmp(0, CmpOp::Gt, 100));
         let u = Update::cond(empty_guard, grow, shrink);
-        assert!(eval_update(&u, &db).unwrap().get(&"R".into()).unwrap().is_empty());
+        assert!(eval_update(&u, &db)
+            .unwrap()
+            .get(&"R".into())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -315,8 +337,14 @@ mod tests {
             ("S".into(), Query::base("R")),
         ]);
         let swapped = apply_subst(&db, &eps).unwrap();
-        assert_eq!(swapped.get(&"R".into()).unwrap(), db.get(&"S".into()).unwrap());
-        assert_eq!(swapped.get(&"S".into()).unwrap(), db.get(&"R".into()).unwrap());
+        assert_eq!(
+            swapped.get(&"R".into()).unwrap(),
+            db.get(&"S".into()).unwrap()
+        );
+        assert_eq!(
+            swapped.get(&"S".into()).unwrap(),
+            db.get(&"R".into()).unwrap()
+        );
     }
 
     #[test]
@@ -345,7 +373,10 @@ mod tests {
     fn eval_pure_rejects_when() {
         let db = db();
         let q = Query::base("R").when(StateExpr::update(Update::insert("R", Query::base("S"))));
-        assert!(matches!(eval_pure(&q, &db), Err(EvalError::UnsupportedShape(_))));
+        assert!(matches!(
+            eval_pure(&q, &db),
+            Err(EvalError::UnsupportedShape(_))
+        ));
     }
 
     #[test]
@@ -353,7 +384,12 @@ mod tests {
         let db = db();
         let q = Query::base("R").union(Query::base("S")).aggregate(
             [],
-            [AggExpr::Count, AggExpr::Sum(1), AggExpr::Min(0), AggExpr::Max(1)],
+            [
+                AggExpr::Count,
+                AggExpr::Sum(1),
+                AggExpr::Min(0),
+                AggExpr::Max(1),
+            ],
         );
         let out = eval_query(&q, &db).unwrap();
         assert_eq!(out.len(), 1);

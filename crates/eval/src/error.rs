@@ -31,7 +31,10 @@ impl fmt::Display for EvalError {
                 write!(f, "aggregate {agg} applied to non-numeric value {value}")
             }
             EvalError::UnsupportedShape(s) => {
-                write!(f, "evaluator does not accept this shape (normalize first): {s}")
+                write!(
+                    f,
+                    "evaluator does not accept this shape (normalize first): {s}"
+                )
             }
         }
     }
@@ -61,7 +64,10 @@ mod tests {
         let e = EvalError::from(StorageError::UnknownRelation("R".into()));
         assert_eq!(e.to_string(), "unknown relation R");
         assert!(std::error::Error::source(&e).is_some());
-        let a = EvalError::AggregateType { agg: "sum", value: "\"x\"".into() };
+        let a = EvalError::AggregateType {
+            agg: "sum",
+            value: "\"x\"".into(),
+        };
         assert!(a.to_string().contains("sum"));
         assert!(std::error::Error::source(&a).is_none());
     }

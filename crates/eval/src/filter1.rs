@@ -52,9 +52,11 @@ pub fn filter1(q: &Query, e: &XsubValue, db: &DatabaseState) -> Result<Relation,
             let f = filter1_subst(eps, e, db)?;
             filter1(inner, &e.smash(&f), db)
         }
-        Query::Aggregate { input, group_by, aggs } => {
-            eval_aggregate(&filter1(input, e, db)?, group_by, aggs)
-        }
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => eval_aggregate(&filter1(input, e, db)?, group_by, aggs),
     }
 }
 
@@ -91,7 +93,8 @@ mod tests {
         cat.declare_arity("S", 2).unwrap();
         let mut db = DatabaseState::new(cat);
         db.insert_rows("R", [tuple![1, 10], tuple![2, 20]]).unwrap();
-        db.insert_rows("S", [tuple![2, 200], tuple![35, 300]]).unwrap();
+        db.insert_rows("S", [tuple![2, 200], tuple![35, 300]])
+            .unwrap();
         db
     }
 
@@ -142,10 +145,7 @@ mod tests {
     #[test]
     fn filter_overrides_base_lookup() {
         let db = db();
-        let e = XsubValue::new([(
-            "R".into(),
-            Relation::from_rows(2, [tuple![9, 9]]).unwrap(),
-        )]);
+        let e = XsubValue::new([("R".into(), Relation::from_rows(2, [tuple![9, 9]]).unwrap())]);
         let out = filter1(&Query::base("R"), &e, &db).unwrap();
         assert_eq!(out.len(), 1);
         assert!(out.contains(&tuple![9, 9]));

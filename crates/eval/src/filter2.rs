@@ -54,7 +54,14 @@ pub fn eval_filter_x(
     e: &XsubValue,
     db: &DatabaseState,
 ) -> Result<Relation, EvalError> {
-    eval_pure(template, &FilteredResolver { db, e, placeholders })
+    eval_pure(
+        template,
+        &FilteredResolver {
+            db,
+            e,
+            placeholders,
+        },
+    )
 }
 
 /// `filter2(T, E)` over a collapsed ENF tree (§5.4).
@@ -75,7 +82,11 @@ pub fn filter2(
             }
             filter2(child, &e.smash(&f), db)
         }
-        CollapsedTree::Ra { template, when_children, .. } => {
+        CollapsedTree::Ra {
+            template,
+            when_children,
+            ..
+        } => {
             let mut values = Vec::with_capacity(when_children.len());
             for child in when_children {
                 values.push(filter2(child, e, db)?);
@@ -106,8 +117,10 @@ mod tests {
         cat.declare_arity("R", 2).unwrap();
         cat.declare_arity("S", 2).unwrap();
         let mut db = DatabaseState::new(cat);
-        db.insert_rows("R", [tuple![1, 10], tuple![2, 20], tuple![35, 1]]).unwrap();
-        db.insert_rows("S", [tuple![2, 200], tuple![35, 300]]).unwrap();
+        db.insert_rows("R", [tuple![1, 10], tuple![2, 20], tuple![35, 1]])
+            .unwrap();
+        db.insert_rows("S", [tuple![2, 200], tuple![35, 300]])
+            .unwrap();
         db
     }
 
@@ -127,9 +140,10 @@ mod tests {
                 "R",
                 Query::base("S").select(Predicate::col_cmp(0, CmpOp::Gt, 30)),
             )))
-            .when(StateExpr::update(Update::delete("S", Query::base("S").select(
-                Predicate::col_cmp(1, CmpOp::Lt, 250),
-            ))));
+            .when(StateExpr::update(Update::delete(
+                "S",
+                Query::base("S").select(Predicate::col_cmp(1, CmpOp::Lt, 250)),
+            )));
         let expected = eval_query(&q, &db).unwrap();
         let e = enf(&q);
         assert_eq!(algorithm_hql2(&e, &db).unwrap(), expected);
@@ -141,7 +155,9 @@ mod tests {
         let db = db();
         // (R when {S/R}) ∪ S : the when-subtree becomes a region child.
         let eps = hypoquery_algebra::ExplicitSubst::single("R", Query::base("S"));
-        let q = Query::base("R").when(StateExpr::subst(eps)).union(Query::base("S"));
+        let q = Query::base("R")
+            .when(StateExpr::subst(eps))
+            .union(Query::base("S"));
         let out = algorithm_hql2(&q, &db).unwrap();
         assert_eq!(out, db.get(&"S".into()).unwrap());
     }

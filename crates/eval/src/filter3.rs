@@ -36,14 +36,14 @@ pub fn filter3(q: &Query, delta: &DeltaValue, db: &DatabaseState) -> Result<Rela
         Query::Select(inner, p) => Ok(filter3(inner, delta, db)?.select(|t| p.eval(t))),
         Query::Project(inner, cols) => Ok(filter3(inner, delta, db)?.project(cols)?),
         Query::Union(a, b) => Ok(filter3(a, delta, db)?.union(&filter3(b, delta, db)?)?),
-        Query::Intersect(a, b) => {
-            Ok(filter3(a, delta, db)?.intersect(&filter3(b, delta, db)?)?)
-        }
+        Query::Intersect(a, b) => Ok(filter3(a, delta, db)?.intersect(&filter3(b, delta, db)?)?),
         Query::Diff(a, b) => Ok(filter3(a, delta, db)?.difference(&filter3(b, delta, db)?)?),
         Query::Product(a, b) => Ok(filter3(a, delta, db)?.product(&filter3(b, delta, db)?)),
-        Query::Join(a, b, p) => {
-            Ok(join::join(&filter3(a, delta, db)?, &filter3(b, delta, db)?, p))
-        }
+        Query::Join(a, b, p) => Ok(join::join(
+            &filter3(a, delta, db)?,
+            &filter3(b, delta, db)?,
+            p,
+        )),
         Query::When(inner, eta) => {
             let StateExpr::Update(u) = &**eta else {
                 return Err(EvalError::UnsupportedShape(format!(
@@ -53,9 +53,11 @@ pub fn filter3(q: &Query, delta: &DeltaValue, db: &DatabaseState) -> Result<Rela
             let f = filter3_update(u, delta, db)?;
             filter3(inner, &delta.smash(&f)?, db)
         }
-        Query::Aggregate { input, group_by, aggs } => {
-            eval_aggregate(&filter3(input, delta, db)?, group_by, aggs)
-        }
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => eval_aggregate(&filter3(input, delta, db)?, group_by, aggs),
         // Pure leaves are handled by the fast path above.
         _ => eval_filter_d(q, delta, db),
     }
@@ -105,8 +107,10 @@ mod tests {
         cat.declare_arity("R", 2).unwrap();
         cat.declare_arity("S", 2).unwrap();
         let mut db = DatabaseState::new(cat);
-        db.insert_rows("R", [tuple![1, 10], tuple![2, 20], tuple![35, 1]]).unwrap();
-        db.insert_rows("S", [tuple![2, 200], tuple![35, 300], tuple![50, 500]]).unwrap();
+        db.insert_rows("R", [tuple![1, 10], tuple![2, 20], tuple![35, 1]])
+            .unwrap();
+        db.insert_rows("S", [tuple![2, 200], tuple![35, 300], tuple![50, 500]])
+            .unwrap();
         db
     }
 
@@ -114,11 +118,14 @@ mod tests {
     fn hql3_matches_direct_semantics() {
         let db = db();
         // (R ⋈ S) when {ins(R, σ_{#0>30}(S)); del(S, σ_{#1<250}(S))}
-        let u = Update::insert("R", Query::base("S").select(Predicate::col_cmp(0, CmpOp::Gt, 30)))
-            .then(Update::delete(
-                "S",
-                Query::base("S").select(Predicate::col_cmp(1, CmpOp::Lt, 250)),
-            ));
+        let u = Update::insert(
+            "R",
+            Query::base("S").select(Predicate::col_cmp(0, CmpOp::Gt, 30)),
+        )
+        .then(Update::delete(
+            "S",
+            Query::base("S").select(Predicate::col_cmp(1, CmpOp::Lt, 250)),
+        ));
         let q = Query::base("R")
             .join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2))
             .when(StateExpr::update(u));

@@ -50,7 +50,10 @@ fn collect_conjuncts(
         Predicate::Cmp(ScalarExpr::Col(a), CmpOp::Eq, ScalarExpr::Col(b)) => {
             let (lo, hi) = if a < b { (*a, *b) } else { (*b, *a) };
             if lo < left_arity && hi >= left_arity {
-                pairs.push(EquiPair { left: lo, right: hi - left_arity });
+                pairs.push(EquiPair {
+                    left: lo,
+                    right: hi - left_arity,
+                });
             } else {
                 residual.push(pred.clone());
             }
@@ -93,12 +96,10 @@ pub fn join_iter<'a>(
     }
 
     // Hash join: build on right, probe with left.
-    let key_of_right = |t: &Tuple| -> Vec<Value> {
-        pairs.iter().map(|p| t[p.right].clone()).collect()
-    };
-    let key_of_left = |t: &Tuple| -> Vec<Value> {
-        pairs.iter().map(|p| t[p.left].clone()).collect()
-    };
+    let key_of_right =
+        |t: &Tuple| -> Vec<Value> { pairs.iter().map(|p| t[p.right].clone()).collect() };
+    let key_of_left =
+        |t: &Tuple| -> Vec<Value> { pairs.iter().map(|p| t[p.left].clone()).collect() };
     let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::new();
     for r in right {
         table.entry(key_of_right(r)).or_default().push(r);
@@ -152,7 +153,11 @@ mod tests {
         let hashed = join(&l, &r, &p);
         // Force the nested-loop path with an equivalent non-extractable
         // predicate form.
-        let nl = join(&l, &r, &Predicate::col_col(0, CmpOp::Eq, 2).or(Predicate::False));
+        let nl = join(
+            &l,
+            &r,
+            &Predicate::col_col(0, CmpOp::Eq, 2).or(Predicate::False),
+        );
         assert_eq!(hashed, nl);
         assert_eq!(hashed.len(), 2);
         assert!(hashed.contains(&tuple![1, 10, 1, 100]));

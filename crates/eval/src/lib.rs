@@ -9,7 +9,9 @@
 //! * [`filter2`] — Algorithm HQL-2 over collapsed trees (clustered eager);
 //! * [`delta`] — Heraclitus-style delta values, delta smash, the
 //!   six-operand `join-when`, and delta-filtered evaluation (§5.5);
-//! * [`filter3`] — Figure 4 / Algorithm HQL-3 (delta-based eager).
+//! * [`filter3`] — Figure 4 / Algorithm HQL-3 (delta-based eager);
+//! * [`exec`] — scoped-thread fan-out for independent scenarios
+//!   (copy-on-write snapshots make branches share-nothing writers).
 //!
 //! The lazy strategy needs no engine of its own: `hypoquery-core::red`
 //! produces a pure RA query evaluated by [`direct::eval_pure`].
@@ -20,6 +22,7 @@ pub mod bag;
 pub mod delta;
 pub mod direct;
 pub mod error;
+pub mod exec;
 pub mod filter1;
 pub mod filter2;
 pub mod filter3;
@@ -30,6 +33,7 @@ pub use bag::{apply_bag_subst, eval_bag_query, eval_bag_state, eval_bag_update, 
 pub use delta::{eval_filter_d, join_when, DeltaValue, RelDelta};
 pub use direct::{apply_subst, eval_pure, eval_query, eval_state, eval_update, Resolver};
 pub use error::EvalError;
+pub use exec::{num_workers, parallel_map, try_parallel_map};
 pub use filter1::{algorithm_hql1, filter1};
 pub use filter2::{algorithm_hql2, eval_filter_x, filter2};
 pub use filter3::{algorithm_hql3, filter3};

@@ -37,7 +37,9 @@ impl XsubValue {
 
     /// Build from (name, relation) pairs.
     pub fn new(bindings: impl IntoIterator<Item = (RelName, Relation)>) -> Self {
-        XsubValue { map: bindings.into_iter().collect() }
+        XsubValue {
+            map: bindings.into_iter().collect(),
+        }
     }
 
     /// Bind (or replace) `name ↦ value`.
@@ -108,10 +110,7 @@ impl fmt::Display for XsubValue {
 /// `[ε]ₓ(DB)`: materialize an explicit substitution into an xsub-value by
 /// evaluating every binding in `DB` (§5.3). Bindings may be full HQL
 /// queries (ENF permits `when` inside them).
-pub fn materialize_subst(
-    eps: &ExplicitSubst,
-    db: &DatabaseState,
-) -> Result<XsubValue, EvalError> {
+pub fn materialize_subst(eps: &ExplicitSubst, db: &DatabaseState) -> Result<XsubValue, EvalError> {
     let mut out = XsubValue::empty();
     for (name, q) in eps.iter() {
         out.bind(name.clone(), eval_query(q, db)?);

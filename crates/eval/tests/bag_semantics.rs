@@ -21,7 +21,12 @@ fn arb_bag_state() -> impl Strategy<Value = BagState> {
     let rels: Vec<_> = u
         .names
         .iter()
-        .map(|(name, arity)| (proptest::strategy::Just(name.clone()), arb_bag_relation(*arity, 4, 3)))
+        .map(|(name, arity)| {
+            (
+                proptest::strategy::Just(name.clone()),
+                arb_bag_relation(*arity, 4, 3),
+            )
+        })
         .collect();
     let catalog = u.catalog.clone();
     rels.prop_map(move |bindings| {
@@ -97,7 +102,6 @@ proptest! {
     }
 }
 
-
 /// The bag counterexample for conditional updates, preserved as a
 /// deterministic regression test: duplicate guards inflate multiplicities
 /// through the 0-ary-guard slice, so reduction ≠ direct for Cond in bags.
@@ -118,7 +122,10 @@ fn cond_slice_is_set_semantics_only() {
     let direct = eval_bag_state(&eta, &db).unwrap();
     let rho = red_state(&eta).unwrap();
     let lazy = apply_bag_subst(&db, &rho).unwrap();
-    assert_ne!(direct, lazy, "if this starts passing, the Cond slice became bag-correct");
+    assert_ne!(
+        direct, lazy,
+        "if this starts passing, the Cond slice became bag-correct"
+    );
     // ...whereas under set semantics the same pair agrees (Lemma 3.9).
     let mut set_db = hypoquery_storage::DatabaseState::new(u.catalog.clone());
     set_db.insert_row("R", tuple![0, 0]).unwrap();

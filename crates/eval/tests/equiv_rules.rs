@@ -6,14 +6,11 @@ use proptest::prelude::*;
 
 use hypoquery_algebra::{Query, StateExpr};
 use hypoquery_core::equiv::{
-    rule_commute_hypotheticals, rule_compose_assoc, rule_compute_composition,
-    rule_convert_update, rule_push_when, rule_replace_nested_when, rule_simplify_subst,
-    rule_when_leaf,
+    rule_commute_hypotheticals, rule_compose_assoc, rule_compute_composition, rule_convert_update,
+    rule_push_when, rule_replace_nested_when, rule_simplify_subst, rule_when_leaf,
 };
 use hypoquery_eval::{eval_query, eval_state};
-use hypoquery_testkit::{
-    arb_db, arb_query, arb_state_expr, arb_subst, arb_update, Universe,
-};
+use hypoquery_testkit::{arb_db, arb_query, arb_state_expr, arb_subst, arb_update, Universe};
 
 fn universe() -> Universe {
     Universe::standard()
@@ -204,7 +201,10 @@ fn example_2_2a_composition_semantics() {
     ));
     // (Q̂ when {ins}) when {del}  ≡  Q̂ when ({del} # {ins})
     // (outer-when-first composition order, per replace-nested-when).
-    let q_nested = Query::base("R").union(Query::base("S")).when(ins.clone()).when(del.clone());
+    let q_nested = Query::base("R")
+        .union(Query::base("S"))
+        .when(ins.clone())
+        .when(del.clone());
     let q_composed = Query::base("R")
         .union(Query::base("S"))
         .when(del.compose(ins));

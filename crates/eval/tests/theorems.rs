@@ -13,8 +13,8 @@ use hypoquery_core::{
     to_mod_enf, RewriteTrace,
 };
 use hypoquery_eval::{
-    algorithm_hql1, algorithm_hql2, algorithm_hql3, apply_subst, eval_pure, eval_query,
-    eval_state, eval_update, materialize_subst, DeltaValue, XsubValue,
+    algorithm_hql1, algorithm_hql2, algorithm_hql3, apply_subst, eval_pure, eval_query, eval_state,
+    eval_update, materialize_subst, DeltaValue, XsubValue,
 };
 use hypoquery_testkit::{
     arb_atomic_update_seq, arb_db, arb_pure_query, arb_pure_subst, arb_query, arb_state_expr,

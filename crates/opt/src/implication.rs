@@ -34,10 +34,18 @@ impl Atom {
     pub fn from_pred(p: &Predicate) -> Option<Atom> {
         match p {
             Predicate::Cmp(ScalarExpr::Col(col), op, ScalarExpr::Const(Value::Int(v))) => {
-                Some(Atom { col: *col, op: *op, value: *v })
+                Some(Atom {
+                    col: *col,
+                    op: *op,
+                    value: *v,
+                })
             }
             Predicate::Cmp(ScalarExpr::Const(Value::Int(v)), op, ScalarExpr::Col(col)) => {
-                Some(Atom { col: *col, op: op.flip(), value: *v })
+                Some(Atom {
+                    col: *col,
+                    op: op.flip(),
+                    value: *v,
+                })
             }
             _ => None,
         }
@@ -49,12 +57,36 @@ impl Atom {
     fn solution(&self) -> IntSet {
         let c = self.value as i128;
         match self.op {
-            CmpOp::Eq => IntSet { lo: c, hi: c, exclude: None },
-            CmpOp::Ne => IntSet { lo: i128::MIN, hi: i128::MAX, exclude: Some(c) },
-            CmpOp::Lt => IntSet { lo: i128::MIN, hi: c - 1, exclude: None },
-            CmpOp::Le => IntSet { lo: i128::MIN, hi: c, exclude: None },
-            CmpOp::Gt => IntSet { lo: c + 1, hi: i128::MAX, exclude: None },
-            CmpOp::Ge => IntSet { lo: c, hi: i128::MAX, exclude: None },
+            CmpOp::Eq => IntSet {
+                lo: c,
+                hi: c,
+                exclude: None,
+            },
+            CmpOp::Ne => IntSet {
+                lo: i128::MIN,
+                hi: i128::MAX,
+                exclude: Some(c),
+            },
+            CmpOp::Lt => IntSet {
+                lo: i128::MIN,
+                hi: c - 1,
+                exclude: None,
+            },
+            CmpOp::Le => IntSet {
+                lo: i128::MIN,
+                hi: c,
+                exclude: None,
+            },
+            CmpOp::Gt => IntSet {
+                lo: c + 1,
+                hi: i128::MAX,
+                exclude: None,
+            },
+            CmpOp::Ge => IntSet {
+                lo: c,
+                hi: i128::MAX,
+                exclude: None,
+            },
         }
     }
 }
@@ -101,9 +133,21 @@ impl IntSet {
             .filter(|e| *e >= lo && *e <= hi)
             .collect();
         match ex.as_slice() {
-            [] => Some(IntSet { lo, hi, exclude: None }),
-            [e] => Some(IntSet { lo, hi, exclude: Some(*e) }),
-            [a, b] if a == b => Some(IntSet { lo, hi, exclude: Some(*a) }),
+            [] => Some(IntSet {
+                lo,
+                hi,
+                exclude: None,
+            }),
+            [e] => Some(IntSet {
+                lo,
+                hi,
+                exclude: Some(*e),
+            }),
+            [a, b] if a == b => Some(IntSet {
+                lo,
+                hi,
+                exclude: Some(*a),
+            }),
             _ => None,
         }
     }
@@ -296,16 +340,32 @@ mod tests {
             ((Ne, 3), (Le, 9), false),
         ];
         for ((op1, v1), (op2, v2), expect) in cases {
-            let a = Atom { col: 0, op: op1, value: v1 };
-            let b = Atom { col: 0, op: op2, value: v2 };
+            let a = Atom {
+                col: 0,
+                op: op1,
+                value: v1,
+            };
+            let b = Atom {
+                col: 0,
+                op: op2,
+                value: v2,
+            };
             assert_eq!(atom_implies(&a, &b), expect, "{op1:?} {v1} => {op2:?} {v2}");
         }
     }
 
     #[test]
     fn different_columns_never_imply() {
-        let a = Atom { col: 0, op: CmpOp::Eq, value: 1 };
-        let b = Atom { col: 1, op: CmpOp::Ge, value: 0 };
+        let a = Atom {
+            col: 0,
+            op: CmpOp::Eq,
+            value: 1,
+        };
+        let b = Atom {
+            col: 1,
+            op: CmpOp::Ge,
+            value: 0,
+        };
         assert!(!atom_implies(&a, &b));
     }
 
@@ -384,7 +444,10 @@ mod tests {
         assert_eq!(fold_pred(&p), Predicate::True);
         let q = fold_pred(&p.clone().and(atom(0, CmpOp::Eq, 1)));
         assert_eq!(q, atom(0, CmpOp::Eq, 1));
-        assert_eq!(fold_pred(&Predicate::True.or(atom(0, CmpOp::Eq, 1))), Predicate::True);
+        assert_eq!(
+            fold_pred(&Predicate::True.or(atom(0, CmpOp::Eq, 1))),
+            Predicate::True
+        );
         assert_eq!(
             fold_pred(&atom(0, CmpOp::Lt, 60).not()),
             atom(0, CmpOp::Ge, 60)
@@ -393,12 +456,27 @@ mod tests {
 
     #[test]
     fn extreme_values_do_not_overflow() {
-        let a = Atom { col: 0, op: CmpOp::Gt, value: i64::MAX };
-        let b = Atom { col: 0, op: CmpOp::Lt, value: i64::MIN };
+        let a = Atom {
+            col: 0,
+            op: CmpOp::Gt,
+            value: i64::MAX,
+        };
+        let b = Atom {
+            col: 0,
+            op: CmpOp::Lt,
+            value: i64::MIN,
+        };
         // x > i64::MAX has solutions in i128 space (we model mathematical
         // integers), so it is not unsat per se; just check no panic and
         // sane subset behavior.
         assert!(!atom_implies(&a, &b));
-        assert!(atom_implies(&a, &Atom { col: 0, op: CmpOp::Ge, value: i64::MAX }));
+        assert!(atom_implies(
+            &a,
+            &Atom {
+                col: 0,
+                op: CmpOp::Ge,
+                value: i64::MAX
+            }
+        ));
     }
 }

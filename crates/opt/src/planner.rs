@@ -76,7 +76,11 @@ pub struct Plan {
 
 impl fmt::Display for Plan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "strategy: {} (est. cost {:.1})", self.strategy, self.est_cost)?;
+        writeln!(
+            f,
+            "strategy: {} (est. cost {:.1})",
+            self.strategy, self.est_cost
+        )?;
         for (s, c) in &self.candidates {
             writeln!(f, "  candidate {s}: est. cost {c:.1}")?;
         }
@@ -184,12 +188,7 @@ fn hybrid_candidate(
     Some(hybridize(enf_q, catalog, stats, trace))
 }
 
-fn hybridize(
-    q: &Query,
-    catalog: &Catalog,
-    stats: &Statistics,
-    trace: &mut RewriteTrace,
-) -> Query {
+fn hybridize(q: &Query, catalog: &Catalog, stats: &Statistics, trace: &mut RewriteTrace) -> Query {
     let rebuilt = match q.clone() {
         Query::When(body, eta) => {
             let body = hybridize(&body, catalog, stats, trace);
@@ -260,7 +259,10 @@ mod tests {
     fn many_occurrences_prefer_eager() {
         let p = plan(&hypo_query(12), &catalog(), &stats(1000.0, 1000.0));
         assert!(
-            matches!(p.strategy, PlannedStrategy::EagerXsub | PlannedStrategy::EagerDelta),
+            matches!(
+                p.strategy,
+                PlannedStrategy::EagerXsub | PlannedStrategy::EagerDelta
+            ),
             "expected eager for 12 occurrences, got {} \n{p}",
             p.strategy
         );

@@ -32,12 +32,7 @@ pub fn reduce_optimized(q: &Query, catalog: &Catalog) -> (Query, RaTrace) {
     (out, ra_trace)
 }
 
-fn go(
-    q: &Query,
-    catalog: &Catalog,
-    ra: &mut RaTrace,
-    wt: &mut RewriteTrace,
-) -> Query {
+fn go(q: &Query, catalog: &Catalog, ra: &mut RaTrace, wt: &mut RewriteTrace) -> Query {
     match q {
         Query::When(inner, eta) => {
             let body = go(inner, catalog, ra, wt);
@@ -57,8 +52,7 @@ fn go(
                 let substituted = if restricted.is_empty() {
                     body
                 } else {
-                    sub_query(&body, &restricted)
-                        .expect("reduced bodies and bindings are pure")
+                    sub_query(&body, &restricted).expect("reduced bodies and bindings are pure")
                 };
                 let (out, t) = optimize(&substituted, catalog);
                 merge_trace(ra, t);

@@ -85,8 +85,7 @@ pub fn optimize(q: &Query, catalog: &Catalog) -> (Query, RaTrace) {
 
 /// Arity of a query assuming it is well-typed (used to type `∅` nodes).
 fn arity_of(q: &Query, catalog: &Catalog) -> usize {
-    hypoquery_algebra::typing::arity_of(q, catalog)
-        .expect("optimizer inputs are type-checked")
+    hypoquery_algebra::typing::arity_of(q, catalog).expect("optimizer inputs are type-checked")
 }
 
 fn rewrite_node(q: &Query, catalog: &Catalog, trace: &mut RaTrace) -> Query {
@@ -162,7 +161,8 @@ fn apply_local(q: &Query, catalog: &Catalog, trace: &mut RaTrace) -> Option<Quer
                 Query::Union(a, b) => {
                     trace.record("push-select-union");
                     Some(
-                        (**a).clone()
+                        (**a)
+                            .clone()
                             .select(p.clone())
                             .union((**b).clone().select(p.clone())),
                     )
@@ -337,9 +337,7 @@ fn apply_local(q: &Query, catalog: &Catalog, trace: &mut RaTrace) -> Option<Quer
             for c in conjuncts(p) {
                 match (c.min_col(), c.max_col()) {
                     (_, Some(max)) if max < left_arity => left_only.push(c),
-                    (Some(min), _) if min >= left_arity => {
-                        right_only.push(c.unshift(left_arity))
-                    }
+                    (Some(min), _) if min >= left_arity => right_only.push(c.unshift(left_arity)),
                     (None, None) => cross.push(c), // no columns: keep put
                     _ => cross.push(c),
                 }

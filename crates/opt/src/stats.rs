@@ -43,7 +43,9 @@ impl Statistics {
 
     /// Build from explicit `(name, cardinality)` pairs.
     pub fn from_cards(cards: impl IntoIterator<Item = (RelName, f64)>) -> Self {
-        Statistics { cards: cards.into_iter().collect() }
+        Statistics {
+            cards: cards.into_iter().collect(),
+        }
     }
 
     /// Cardinality of a base relation (0 if unknown).
@@ -111,7 +113,9 @@ pub fn estimate_rows(q: &Query, stats: &Statistics) -> f64 {
             let adjusted = adjust_stats_for_state(eta, stats);
             estimate_rows(inner, &adjusted)
         }
-        Query::Aggregate { input, group_by, .. } => {
+        Query::Aggregate {
+            input, group_by, ..
+        } => {
             let n = estimate_rows(input, stats);
             if group_by.is_empty() {
                 n.min(1.0)
@@ -199,9 +203,7 @@ pub fn estimate_cost(q: &Query, stats: &Statistics) -> f64 {
             let adjusted = adjust_stats_for_state(eta, stats);
             estimate_cost(inner, &adjusted) + state_materialization_cost(eta, stats)
         }
-        Query::Aggregate { input, .. } => {
-            estimate_cost(input, stats) + estimate_rows(input, stats)
-        }
+        Query::Aggregate { input, .. } => estimate_cost(input, stats) + estimate_rows(input, stats),
     }
 }
 
@@ -231,9 +233,12 @@ fn update_cost(u: &Update, stats: &Statistics) -> f64 {
             adjust_for_update(a, &mut s);
             update_cost(a, stats) + update_cost(b, &s)
         }
-        Update::Cond { guard, then_u, else_u } => {
-            estimate_cost(guard, stats)
-                + update_cost(then_u, stats).max(update_cost(else_u, stats))
+        Update::Cond {
+            guard,
+            then_u,
+            else_u,
+        } => {
+            estimate_cost(guard, stats) + update_cost(then_u, stats).max(update_cost(else_u, stats))
         }
     }
 }
@@ -270,10 +275,7 @@ mod tests {
     use hypoquery_storage::{tuple, Catalog};
 
     fn stats() -> Statistics {
-        Statistics::from_cards([
-            ("R".into(), 1000.0),
-            ("S".into(), 100.0),
-        ])
+        Statistics::from_cards([("R".into(), 1000.0), ("S".into(), 100.0)])
     }
 
     #[test]
@@ -316,10 +318,7 @@ mod tests {
         let q = Query::base("R").when(StateExpr::subst(eps));
         assert_eq!(estimate_rows(&q, &st), 100.0);
         // Insert grows the estimate.
-        let q = Query::base("R").when(StateExpr::update(Update::insert(
-            "R",
-            Query::base("S"),
-        )));
+        let q = Query::base("R").when(StateExpr::update(Update::insert("R", Query::base("S"))));
         assert_eq!(estimate_rows(&q, &st), 1100.0);
     }
 
@@ -334,7 +333,9 @@ mod tests {
     #[test]
     fn occurrence_counting_respects_shadowing() {
         let names: std::collections::BTreeSet<RelName> = [RelName::new("R")].into();
-        let q = Query::base("R").union(Query::base("R")).join(Query::base("S"), Predicate::True);
+        let q = Query::base("R")
+            .union(Query::base("R"))
+            .join(Query::base("S"), Predicate::True);
         assert_eq!(count_occurrences(&q, &names), 2);
         // An inner when that rebinds R shadows the outer hypothetical.
         let inner = Query::base("R").when(StateExpr::subst(ExplicitSubst::single(

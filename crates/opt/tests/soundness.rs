@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use hypoquery_core::is_mod_enf;
-use hypoquery_eval::{
-    algorithm_hql2, algorithm_hql3, eval_pure, eval_query,
-};
+use hypoquery_eval::{algorithm_hql2, algorithm_hql3, eval_pure, eval_query};
 use hypoquery_opt::implication::{pred_implies, pred_unsat};
 use hypoquery_opt::{optimize, plan, PlannedStrategy, Statistics};
 use hypoquery_testkit::{arb_db, arb_predicate, arb_pure_query, arb_query, arb_tuple, Universe};

@@ -62,9 +62,35 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 const KEYWORDS: &[&str] = &[
-    "select", "project", "aggregate", "row", "empty", "when", "union", "except", "intersect",
-    "times", "join", "on", "insert", "into", "delete", "from", "if", "then", "else", "end",
-    "and", "or", "not", "true", "false", "count", "sum", "min", "max",
+    "select",
+    "project",
+    "aggregate",
+    "row",
+    "empty",
+    "when",
+    "union",
+    "except",
+    "intersect",
+    "times",
+    "join",
+    "on",
+    "insert",
+    "into",
+    "delete",
+    "from",
+    "if",
+    "then",
+    "else",
+    "end",
+    "and",
+    "or",
+    "not",
+    "true",
+    "false",
+    "count",
+    "sum",
+    "min",
+    "max",
 ];
 
 /// A column reference before name resolution.
@@ -107,9 +133,15 @@ struct Parser<'c> {
 
 impl<'c> Parser<'c> {
     fn new(src: &str, catalog: Option<&'c Catalog>) -> Result<Parser<'c>, ParseError> {
-        let toks = tokenize(src)
-            .map_err(|e| ParseError { offset: e.offset, message: e.message })?;
-        Ok(Parser { toks, pos: 0, catalog })
+        let toks = tokenize(src).map_err(|e| ParseError {
+            offset: e.offset,
+            message: e.message,
+        })?;
+        Ok(Parser {
+            toks,
+            pos: 0,
+            catalog,
+        })
     }
 
     fn peek(&self) -> &Token {
@@ -125,7 +157,10 @@ impl<'c> Parser<'c> {
     }
 
     fn error<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { offset: self.peek().offset, message: message.into() })
+        Err(ParseError {
+            offset: self.peek().offset,
+            message: message.into(),
+        })
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
@@ -154,7 +189,10 @@ impl<'c> Parser<'c> {
         if self.eat_keyword(kw) {
             Ok(())
         } else {
-            self.error(format!("expected keyword `{kw}`, found {}", self.peek().kind))
+            self.error(format!(
+                "expected keyword `{kw}`, found {}",
+                self.peek().kind
+            ))
         }
     }
 
@@ -394,11 +432,9 @@ impl<'c> Parser<'c> {
         Ok(match p {
             PrePred::True => Predicate::True,
             PrePred::False => Predicate::False,
-            PrePred::Cmp(a, op, b) => Predicate::Cmp(
-                self.resolve_scalar(a, q)?,
-                op,
-                self.resolve_scalar(b, q)?,
-            ),
+            PrePred::Cmp(a, op, b) => {
+                Predicate::Cmp(self.resolve_scalar(a, q)?, op, self.resolve_scalar(b, q)?)
+            }
             PrePred::And(a, b) => self.resolve_pred(*a, q)?.and(self.resolve_pred(*b, q)?),
             PrePred::Or(a, b) => self.resolve_pred(*a, q)?.or(self.resolve_pred(*b, q)?),
             PrePred::Not(a) => self.resolve_pred(*a, q)?.not(),
@@ -718,8 +754,7 @@ mod tests {
 
     #[test]
     fn explicit_substitutions_and_composition() {
-        let eta = parse_state_expr("{S / R, select #0 = 1 (R) / S} # {insert into T (R)}")
-            .unwrap();
+        let eta = parse_state_expr("{S / R, select #0 = 1 (R) / S} # {insert into T (R)}").unwrap();
         match eta {
             StateExpr::Compose(a, b) => {
                 let eps = a.as_subst().unwrap();
@@ -755,15 +790,17 @@ mod tests {
         );
         // Global aggregate: empty group-by list.
         let q = parse_query("aggregate [; count] (R)").unwrap();
-        assert_eq!(q, Query::base("R").aggregate(Vec::<usize>::new(), [AggExpr::Count]));
+        assert_eq!(
+            q,
+            Query::base("R").aggregate(Vec::<usize>::new(), [AggExpr::Count])
+        );
     }
 
     #[test]
     fn conditional_updates() {
-        let u = parse_update(
-            "if select #0 = 1 (V) then insert into R (S) else delete from R (S) end",
-        )
-        .unwrap();
+        let u =
+            parse_update("if select #0 = 1 (V) then insert into R (S) else delete from R (S) end")
+                .unwrap();
         assert!(matches!(u, Update::Cond { .. }));
         // Sequencing.
         let u = parse_update("insert into R (S); delete from S (S); insert into T (R)").unwrap();
@@ -854,8 +891,10 @@ mod named_tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.declare("emp", RelSchema::named(["id", "salary"])).unwrap();
-        c.declare("dept", RelSchema::named(["emp_id", "dept_id"])).unwrap();
+        c.declare("emp", RelSchema::named(["id", "salary"]))
+            .unwrap();
+        c.declare("dept", RelSchema::named(["emp_id", "dept_id"]))
+            .unwrap();
         c.declare_arity("anon", 2).unwrap();
         c
     }
@@ -907,14 +946,13 @@ mod named_tests {
         let q = parse_query_named("select salary > 10 (project salary (emp))", &c).unwrap();
         assert_eq!(
             q,
-            Query::base("emp").project([1usize]).select(Predicate::col_cmp(0, CmpOp::Gt, 10))
+            Query::base("emp")
+                .project([1usize])
+                .select(Predicate::col_cmp(0, CmpOp::Gt, 10))
         );
         // Names survive a `when`.
-        let q = parse_query_named(
-            "select salary > 10 (emp when {insert into emp (emp)})",
-            &c,
-        )
-        .unwrap();
+        let q =
+            parse_query_named("select salary > 10 (emp when {insert into emp (emp)})", &c).unwrap();
         assert!(matches!(q, Query::Select(_, _)));
     }
 
@@ -947,7 +985,8 @@ mod named_tests {
     #[test]
     fn join_name_collision_takes_first() {
         let mut c = catalog();
-        c.declare("emp2", RelSchema::named(["id", "bonus"])).unwrap();
+        c.declare("emp2", RelSchema::named(["id", "bonus"]))
+            .unwrap();
         // Both sides have `id`; the first occurrence (left side, col 0)
         // wins — document-by-test.
         let q = parse_query_named("emp join emp2 on id = bonus", &c).unwrap();

@@ -129,7 +129,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     offset: start,
                     message: "integer literal out of range".into(),
                 })?;
-                out.push(Token { kind: TokenKind::Int(-v), offset: start });
+                out.push(Token {
+                    kind: TokenKind::Int(-v),
+                    offset: start,
+                });
             }
             '0'..='9' => {
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -139,7 +142,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     offset: start,
                     message: "integer literal out of range".into(),
                 })?;
-                out.push(Token { kind: TokenKind::Int(v), offset: start });
+                out.push(Token {
+                    kind: TokenKind::Int(v),
+                    offset: start,
+                });
             }
             '"' => {
                 i += 1;
@@ -175,12 +181,13 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                out.push(Token { kind: TokenKind::Str(s), offset: start });
+                out.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             'a'..='z' | 'A'..='Z' | '_' => {
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Token {
@@ -189,70 +196,118 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 });
             }
             '#' => {
-                out.push(Token { kind: TokenKind::Hash, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Hash,
+                    offset: start,
+                });
                 i += 1;
             }
             '(' => {
-                out.push(Token { kind: TokenKind::LParen, offset: start });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Token { kind: TokenKind::RParen, offset: start });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '{' => {
-                out.push(Token { kind: TokenKind::LBrace, offset: start });
+                out.push(Token {
+                    kind: TokenKind::LBrace,
+                    offset: start,
+                });
                 i += 1;
             }
             '}' => {
-                out.push(Token { kind: TokenKind::RBrace, offset: start });
+                out.push(Token {
+                    kind: TokenKind::RBrace,
+                    offset: start,
+                });
                 i += 1;
             }
             '[' => {
-                out.push(Token { kind: TokenKind::LBracket, offset: start });
+                out.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ']' => {
-                out.push(Token { kind: TokenKind::RBracket, offset: start });
+                out.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Token { kind: TokenKind::Comma, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Token { kind: TokenKind::Semi, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Semi,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Token { kind: TokenKind::Slash, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Token { kind: TokenKind::Eq, offset: start });
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '<' => match bytes.get(i + 1) {
                 Some(b'>') => {
-                    out.push(Token { kind: TokenKind::Ne, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 Some(b'=') => {
-                    out.push(Token { kind: TokenKind::Le, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 _ => {
-                    out.push(Token { kind: TokenKind::Lt, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             },
             '>' => match bytes.get(i + 1) {
                 Some(b'=') => {
-                    out.push(Token { kind: TokenKind::Ge, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 }
                 _ => {
-                    out.push(Token { kind: TokenKind::Gt, offset: start });
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             },
@@ -264,7 +319,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    out.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    out.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
     Ok(out)
 }
 
@@ -329,7 +387,12 @@ mod tests {
     fn negative_ints_and_comments() {
         assert_eq!(
             kinds("-5 7 -- a comment\n 9"),
-            vec![TokenKind::Int(-5), TokenKind::Int(7), TokenKind::Int(9), TokenKind::Eof]
+            vec![
+                TokenKind::Int(-5),
+                TokenKind::Int(7),
+                TokenKind::Int(9),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -10,9 +10,7 @@ use std::fmt::Write;
 
 use hypoquery_storage::Value;
 
-use hypoquery_algebra::{
-    AggExpr, CmpOp, Predicate, Query, ScalarExpr, StateExpr, Update,
-};
+use hypoquery_algebra::{AggExpr, CmpOp, Predicate, Query, ScalarExpr, StateExpr, Update};
 
 /// Render a query in surface syntax.
 pub fn unparse_query(q: &Query) -> String {
@@ -102,7 +100,11 @@ fn query(q: &Query, out: &mut String) {
             state(eta, out);
             out.push(')');
         }
-        Query::Aggregate { input, group_by, aggs } => {
+        Query::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             out.push_str("aggregate [");
             for (i, c) in group_by.iter().enumerate() {
                 if i > 0 {
@@ -221,7 +223,11 @@ fn update(u: &Update, out: &mut String) {
                 update(b, out);
             }
         }
-        Update::Cond { guard, then_u, else_u } => {
+        Update::Cond {
+            guard,
+            then_u,
+            else_u,
+        } => {
             out.push_str("if ");
             query(guard, out);
             out.push_str(" then ");
@@ -318,7 +324,9 @@ mod tests {
             Query::base("R").select(Predicate::col_cmp(0, CmpOp::Ge, 60)),
             Query::base("R").project([1, 0]),
             Query::base("R").project(Vec::<usize>::new()),
-            Query::base("R").union(Query::base("S")).diff(Query::base("T")),
+            Query::base("R")
+                .union(Query::base("S"))
+                .diff(Query::base("T")),
             Query::base("R").join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2)),
             Query::base("R").aggregate([0], [AggExpr::Count, AggExpr::Sum(1)]),
         ];
@@ -332,8 +340,7 @@ mod tests {
     #[test]
     fn hypothetical_roundtrips() {
         let eta = StateExpr::update(
-            Update::insert("R", Query::base("S"))
-                .then(Update::delete("S", Query::base("S"))),
+            Update::insert("R", Query::base("S")).then(Update::delete("S", Query::base("S"))),
         );
         let q = Query::base("R").when(eta.clone()).when(StateExpr::subst(
             hypoquery_algebra::ExplicitSubst::single(

@@ -18,22 +18,48 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::StorageError;
 use crate::relation::Relation;
 use crate::tuple::Tuple;
 
 /// A multiset of same-arity tuples.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Like [`Relation`], multiplicity storage is `Arc`-shared copy-on-write:
+/// clones are O(1) and the first mutation of a shared bag copies the map.
+#[derive(Clone, Eq, Debug)]
 pub struct BagRelation {
     arity: usize,
-    tuples: BTreeMap<Tuple, u64>,
+    tuples: Arc<BTreeMap<Tuple, u64>>,
+}
+
+impl PartialEq for BagRelation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && (Arc::ptr_eq(&self.tuples, &other.tuples) || self.tuples == other.tuples)
+    }
 }
 
 impl BagRelation {
     /// The empty bag of the given arity.
     pub fn empty(arity: usize) -> Self {
-        BagRelation { arity, tuples: BTreeMap::new() }
+        BagRelation {
+            arity,
+            tuples: Arc::new(BTreeMap::new()),
+        }
+    }
+
+    /// Whether `self` and `other` physically share one multiplicity map.
+    pub fn ptr_eq(&self, other: &BagRelation) -> bool {
+        self.arity == other.arity && Arc::ptr_eq(&self.tuples, &other.tuples)
+    }
+
+    fn from_map(arity: usize, tuples: BTreeMap<Tuple, u64>) -> Self {
+        BagRelation {
+            arity,
+            tuples: Arc::new(tuples),
+        }
     }
 
     /// A single tuple with multiplicity 1.
@@ -41,15 +67,12 @@ impl BagRelation {
         let arity = t.arity();
         let mut tuples = BTreeMap::new();
         tuples.insert(t, 1);
-        BagRelation { arity, tuples }
+        BagRelation::from_map(arity, tuples)
     }
 
     /// Convert a set relation into a bag (all multiplicities 1).
     pub fn from_set(rel: &Relation) -> Self {
-        BagRelation {
-            arity: rel.arity(),
-            tuples: rel.iter().map(|t| (t.clone(), 1)).collect(),
-        }
+        BagRelation::from_map(rel.arity(), rel.iter().map(|t| (t.clone(), 1)).collect())
     }
 
     /// The supporting set (distinct tuples).
@@ -96,7 +119,7 @@ impl BagRelation {
             });
         }
         if count > 0 {
-            *self.tuples.entry(t).or_insert(0) += count;
+            *Arc::make_mut(&mut self.tuples).entry(t).or_insert(0) += count;
         }
         Ok(())
     }
@@ -106,7 +129,11 @@ impl BagRelation {
         self.tuples.iter().map(|(t, m)| (t, *m))
     }
 
-    fn check_same_arity(&self, other: &BagRelation, context: &'static str) -> Result<(), StorageError> {
+    fn check_same_arity(
+        &self,
+        other: &BagRelation,
+        context: &'static str,
+    ) -> Result<(), StorageError> {
         if self.arity != other.arity {
             return Err(StorageError::ArityMismatch {
                 context,
@@ -118,63 +145,77 @@ impl BagRelation {
     }
 
     /// Additive bag union.
+    ///
+    /// Union with an empty bag returns the other operand as a
+    /// shared-storage clone.
     pub fn union(&self, other: &BagRelation) -> Result<BagRelation, StorageError> {
         self.check_same_arity(other, "bag union")?;
-        let mut tuples = self.tuples.clone();
-        for (t, m) in &other.tuples {
+        if other.is_empty() {
+            return Ok(self.clone());
+        }
+        if self.is_empty() {
+            return Ok(other.clone());
+        }
+        let mut tuples = (*self.tuples).clone();
+        for (t, m) in other.tuples.iter() {
             *tuples.entry(t.clone()).or_insert(0) += m;
         }
-        Ok(BagRelation { arity: self.arity, tuples })
+        Ok(BagRelation::from_map(self.arity, tuples))
     }
 
     /// Bag difference (monus).
     pub fn difference(&self, other: &BagRelation) -> Result<BagRelation, StorageError> {
         self.check_same_arity(other, "bag difference")?;
+        if other.is_empty() {
+            return Ok(self.clone());
+        }
         let mut tuples = BTreeMap::new();
-        for (t, m) in &self.tuples {
+        for (t, m) in self.tuples.iter() {
             let rem = m.saturating_sub(other.multiplicity(t));
             if rem > 0 {
                 tuples.insert(t.clone(), rem);
             }
         }
-        Ok(BagRelation { arity: self.arity, tuples })
+        Ok(BagRelation::from_map(self.arity, tuples))
     }
 
     /// Bag intersection (min of multiplicities).
     pub fn intersect(&self, other: &BagRelation) -> Result<BagRelation, StorageError> {
         self.check_same_arity(other, "bag intersection")?;
+        if Arc::ptr_eq(&self.tuples, &other.tuples) {
+            return Ok(self.clone());
+        }
         let mut tuples = BTreeMap::new();
-        for (t, m) in &self.tuples {
+        for (t, m) in self.tuples.iter() {
             let k = (*m).min(other.multiplicity(t));
             if k > 0 {
                 tuples.insert(t.clone(), k);
             }
         }
-        Ok(BagRelation { arity: self.arity, tuples })
+        Ok(BagRelation::from_map(self.arity, tuples))
     }
 
     /// Bag cartesian product (multiplicities multiply).
     pub fn product(&self, other: &BagRelation) -> BagRelation {
         let mut tuples = BTreeMap::new();
-        for (a, m) in &self.tuples {
-            for (b, n) in &other.tuples {
+        for (a, m) in self.tuples.iter() {
+            for (b, n) in other.tuples.iter() {
                 tuples.insert(a.concat(b), m * n);
             }
         }
-        BagRelation { arity: self.arity + other.arity, tuples }
+        BagRelation::from_map(self.arity + other.arity, tuples)
     }
 
     /// Selection (keeps multiplicities).
     pub fn select(&self, mut pred: impl FnMut(&Tuple) -> bool) -> BagRelation {
-        BagRelation {
-            arity: self.arity,
-            tuples: self
-                .tuples
+        BagRelation::from_map(
+            self.arity,
+            self.tuples
                 .iter()
                 .filter(|(t, _)| pred(t))
                 .map(|(t, m)| (t.clone(), *m))
                 .collect(),
-        }
+        )
     }
 
     /// Projection **without** deduplication: multiplicities of colliding
@@ -188,10 +229,10 @@ impl BagRelation {
             });
         }
         let mut tuples: BTreeMap<Tuple, u64> = BTreeMap::new();
-        for (t, m) in &self.tuples {
+        for (t, m) in self.tuples.iter() {
             *tuples.entry(t.project(cols)).or_insert(0) += m;
         }
-        Ok(BagRelation { arity: cols.len(), tuples })
+        Ok(BagRelation::from_map(cols.len(), tuples))
     }
 }
 
@@ -307,5 +348,18 @@ mod tests {
     fn display_shows_multiplicities() {
         let b = bag(&[(1, 1), (2, 3)]);
         assert_eq!(b.to_string(), "{|(1), (2)×3|}");
+    }
+
+    #[test]
+    fn clone_shares_storage_until_write() {
+        let a = bag(&[(1, 2), (2, 1)]);
+        let mut b = a.clone();
+        assert!(a.ptr_eq(&b));
+        b.insert(tuple![3], 1).unwrap();
+        assert!(!a.ptr_eq(&b));
+        assert_eq!(a.multiplicity(&tuple![3]), 0);
+        let e = BagRelation::empty(1);
+        assert!(a.union(&e).unwrap().ptr_eq(&a));
+        assert!(a.difference(&e).unwrap().ptr_eq(&a));
     }
 }

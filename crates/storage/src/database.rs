@@ -4,9 +4,17 @@
 //! S ∈ Σ to a relation DB(S) of the appropriate arity." Undeclared names are
 //! errors; declared names with no stored rows read as the empty relation of
 //! the catalog arity.
+//!
+//! States are persistent snapshots: both the catalog and the binding map
+//! are `Arc`-shared, so `clone()` is two pointer bumps and the first write
+//! to a cloned state copies only the *map* (each entry an O(1)
+//! shared-storage [`Relation`] clone) — never the tuples of untouched
+//! relations. This is the storage half of the multi-scenario executor:
+//! k hypothetical branches over an n-tuple base share the base physically.
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::StorageError;
 use crate::relation::Relation;
@@ -14,16 +22,23 @@ use crate::schema::{Catalog, RelName};
 use crate::tuple::Tuple;
 
 /// A database state over a fixed [`Catalog`].
+///
+/// Cloning is O(1); mutating a clone copies the binding map on first write
+/// (O(#relations) pointer bumps), leaving all untouched relations
+/// physically shared with the original.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DatabaseState {
-    catalog: Catalog,
-    rels: BTreeMap<RelName, Relation>,
+    catalog: Arc<Catalog>,
+    rels: Arc<BTreeMap<RelName, Relation>>,
 }
 
 impl DatabaseState {
     /// The state mapping every declared relation to the empty relation.
     pub fn new(catalog: Catalog) -> Self {
-        DatabaseState { catalog, rels: BTreeMap::new() }
+        DatabaseState {
+            catalog: Arc::new(catalog),
+            rels: Arc::new(BTreeMap::new()),
+        }
     }
 
     /// The schema this state is over.
@@ -31,10 +46,21 @@ impl DatabaseState {
         &self.catalog
     }
 
+    /// Whether `self` and `other` physically share their entire binding
+    /// map (implies equality of the stored bindings). Diagnostic/test hook
+    /// for the copy-on-write contract.
+    pub fn shares_storage_with(&self, other: &DatabaseState) -> bool {
+        Arc::ptr_eq(&self.rels, &other.rels)
+    }
+
     /// Read `DB(R)`. Errors if `R` is not declared.
     pub fn get(&self, name: &RelName) -> Result<Relation, StorageError> {
         let arity = self.catalog.arity(name)?;
-        Ok(self.rels.get(name).cloned().unwrap_or_else(|| Relation::empty(arity)))
+        Ok(self
+            .rels
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| Relation::empty(arity)))
     }
 
     /// Borrowing read of `DB(R)` when rows exist; `None` either means empty
@@ -63,20 +89,19 @@ impl DatabaseState {
         if value.is_empty() {
             // Canonical form: a state is a *function*; an explicitly
             // stored empty relation and an absent one are the same state,
-            // and PartialEq should agree.
-            next.rels.remove(&name);
+            // and PartialEq should agree. Only un-share the map if there
+            // is actually an entry to drop.
+            if next.rels.contains_key(&name) {
+                Arc::make_mut(&mut next.rels).remove(&name);
+            }
         } else {
-            next.rels.insert(name, value);
+            Arc::make_mut(&mut next.rels).insert(name, value);
         }
         Ok(next)
     }
 
     /// In-place variant of [`DatabaseState::with_binding`].
-    pub fn set(
-        &mut self,
-        name: impl Into<RelName>,
-        value: Relation,
-    ) -> Result<(), StorageError> {
+    pub fn set(&mut self, name: impl Into<RelName>, value: Relation) -> Result<(), StorageError> {
         let name = name.into();
         let arity = self.catalog.arity(&name)?;
         if value.arity() != arity {
@@ -87,23 +112,20 @@ impl DatabaseState {
             });
         }
         if value.is_empty() {
-            self.rels.remove(&name);
+            if self.rels.contains_key(&name) {
+                Arc::make_mut(&mut self.rels).remove(&name);
+            }
         } else {
-            self.rels.insert(name, value);
+            Arc::make_mut(&mut self.rels).insert(name, value);
         }
         Ok(())
     }
 
     /// Insert one tuple into `R` (load helper for tests/examples/benches).
-    pub fn insert_row(
-        &mut self,
-        name: impl Into<RelName>,
-        row: Tuple,
-    ) -> Result<(), StorageError> {
+    pub fn insert_row(&mut self, name: impl Into<RelName>, row: Tuple) -> Result<(), StorageError> {
         let name = name.into();
         let arity = self.catalog.arity(&name)?;
-        let rel = self
-            .rels
+        let rel = Arc::make_mut(&mut self.rels)
             .entry(name)
             .or_insert_with(|| Relation::empty(arity));
         rel.insert(row)?;
@@ -190,10 +212,59 @@ mod tests {
     #[test]
     fn insert_rows_accumulates() {
         let mut db = DatabaseState::new(cat());
-        db.insert_rows("S", [tuple![1], tuple![2], tuple![1]]).unwrap();
+        db.insert_rows("S", [tuple![1], tuple![2], tuple![1]])
+            .unwrap();
         assert_eq!(db.get(&"S".into()).unwrap().len(), 2);
         assert_eq!(db.total_tuples(), 2);
         assert!(db.insert_row("S", tuple![1, 2]).is_err());
+    }
+
+    #[test]
+    fn clone_is_shared_until_write() {
+        let mut db = DatabaseState::new(cat());
+        db.insert_rows("S", [tuple![1], tuple![2]]).unwrap();
+        db.insert_row("R", tuple![1, 2]).unwrap();
+
+        let snap = db.clone();
+        assert!(snap.shares_storage_with(&db), "clone must share the map");
+
+        // Writing one relation in the clone un-shares the *map* but every
+        // untouched relation must still share tuple storage with the base.
+        let mut branch = db.clone();
+        branch.insert_row("S", tuple![3]).unwrap();
+        assert!(!branch.shares_storage_with(&db));
+        let base_r = db.get_ref(&"R".into()).unwrap();
+        let branch_r = branch.get_ref(&"R".into()).unwrap();
+        assert!(
+            base_r.ptr_eq(branch_r),
+            "untouched relation must not be deep-copied by a state write"
+        );
+        // And the touched one diverged without disturbing the base.
+        assert_eq!(db.get(&"S".into()).unwrap().len(), 2);
+        assert_eq!(branch.get(&"S".into()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn with_binding_shares_untouched_relations() {
+        let mut db = DatabaseState::new(cat());
+        db.insert_rows("S", [tuple![1]]).unwrap();
+        db.insert_row("R", tuple![1, 2]).unwrap();
+        let v = Relation::from_rows(1, [tuple![9]]).unwrap();
+        let db2 = db.with_binding("S", v).unwrap();
+        assert!(db
+            .get_ref(&"R".into())
+            .unwrap()
+            .ptr_eq(db2.get_ref(&"R".into()).unwrap()));
+    }
+
+    #[test]
+    fn noop_empty_binding_keeps_sharing() {
+        let db = DatabaseState::new(cat());
+        let db2 = db.with_binding("R", Relation::empty(2)).unwrap();
+        assert!(
+            db2.shares_storage_with(&db),
+            "removing an absent entry is a no-op"
+        );
     }
 
     #[test]

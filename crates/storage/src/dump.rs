@@ -96,7 +96,10 @@ fn decode_value(field: &str, line: usize) -> Result<Value, DumpError> {
         }
         return Ok(Value::str(s));
     }
-    Err(DumpError { line, message: format!("unparseable value {field:?}") })
+    Err(DumpError {
+        line,
+        message: format!("unparseable value {field:?}"),
+    })
 }
 
 /// Serialize a state (catalog + data) to the text format.
@@ -148,13 +151,10 @@ pub fn load_state(src: &str) -> Result<DatabaseState, DumpError> {
                 line: line_no,
                 message: "relation header missing name".into(),
             })?;
-            let arity: usize = parts
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or(DumpError {
-                    line: line_no,
-                    message: "relation header missing arity".into(),
-                })?;
+            let arity: usize = parts.next().and_then(|s| s.parse().ok()).ok_or(DumpError {
+                line: line_no,
+                message: "relation header missing arity".into(),
+            })?;
             let schema = match parts.next() {
                 Some(attrs) if !attrs.trim().is_empty() => {
                     let attrs: Vec<String> =
@@ -162,10 +162,7 @@ pub fn load_state(src: &str) -> Result<DatabaseState, DumpError> {
                     if attrs.len() != arity {
                         return Err(DumpError {
                             line: line_no,
-                            message: format!(
-                                "{} attribute names for arity {arity}",
-                                attrs.len()
-                            ),
+                            message: format!("{} attribute names for arity {arity}", attrs.len()),
                         });
                     }
                     RelSchema::named(attrs)
@@ -206,7 +203,10 @@ pub fn load_state(src: &str) -> Result<DatabaseState, DumpError> {
                 });
             }
             db.insert_row(name.as_str(), Tuple::empty())
-                .map_err(|e| DumpError { line: line_no, message: e.to_string() })?;
+                .map_err(|e| DumpError {
+                    line: line_no,
+                    message: e.to_string(),
+                })?;
             continue;
         }
         let fields: Vec<&str> = line.split('\t').collect();
@@ -219,7 +219,10 @@ pub fn load_state(src: &str) -> Result<DatabaseState, DumpError> {
         let values: Result<Vec<Value>, DumpError> =
             fields.iter().map(|f| decode_value(f, line_no)).collect();
         db.insert_row(name.as_str(), Tuple::new(values?))
-            .map_err(|e| DumpError { line: line_no, message: e.to_string() })?;
+            .map_err(|e| DumpError {
+                line: line_no,
+                message: e.to_string(),
+            })?;
     }
     Ok(db)
 }
@@ -231,12 +234,14 @@ mod tests {
 
     fn sample() -> DatabaseState {
         let mut cat = Catalog::new();
-        cat.declare("emp", RelSchema::named(["id", "name"])).unwrap();
+        cat.declare("emp", RelSchema::named(["id", "name"]))
+            .unwrap();
         cat.declare_arity("flags", 1).unwrap();
         cat.declare_arity("unit", 0).unwrap();
         let mut db = DatabaseState::new(cat);
         db.insert_row("emp", tuple![1, "ann \"the boss\""]).unwrap();
-        db.insert_row("emp", tuple![2, "bob\ttabbed\nline"]).unwrap();
+        db.insert_row("emp", tuple![2, "bob\ttabbed\nline"])
+            .unwrap();
         db.insert_row("flags", tuple![true]).unwrap();
         db.insert_row("unit", Tuple::empty()).unwrap();
         db

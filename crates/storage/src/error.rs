@@ -25,8 +25,15 @@ pub enum StorageError {
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::ArityMismatch { context, expected, found } => {
-                write!(f, "arity mismatch in {context}: expected {expected}, found {found}")
+            StorageError::ArityMismatch {
+                context,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "arity mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             StorageError::UnknownRelation(name) => {
                 write!(f, "unknown relation {name}")
@@ -46,8 +53,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = StorageError::ArityMismatch { context: "insert", expected: 2, found: 3 };
-        assert_eq!(e.to_string(), "arity mismatch in insert: expected 2, found 3");
+        let e = StorageError::ArityMismatch {
+            context: "insert",
+            expected: 2,
+            found: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "arity mismatch in insert: expected 2, found 3"
+        );
         assert_eq!(
             StorageError::UnknownRelation(RelName::new("R")).to_string(),
             "unknown relation R"

@@ -3,25 +3,61 @@
 //! Set semantics, as in the paper. Backed by a `BTreeSet` so iteration is
 //! deterministic and already sorted — the sort-merge `join_when` operator in
 //! `hypoquery-eval` exploits this.
+//!
+//! Tuple storage is `Arc`-shared and copy-on-write: `clone()` is a pointer
+//! bump, and the first mutation of a shared relation clones the underlying
+//! set (`Arc::make_mut`). This is what makes hypothetical snapshots cheap —
+//! the k states of a what-if tree or a prepared family all share the
+//! untouched base relations physically.
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::StorageError;
 use crate::tuple::Tuple;
 use crate::value::Value;
 
 /// A relation: a set of tuples sharing one arity.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Cloning is O(1) (shared storage); mutating a clone copies the tuple set
+/// first (copy-on-write), so clones are fully isolated from each other.
+#[derive(Clone, Eq, Debug)]
 pub struct Relation {
     arity: usize,
-    tuples: BTreeSet<Tuple>,
+    tuples: Arc<BTreeSet<Tuple>>,
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && (Arc::ptr_eq(&self.tuples, &other.tuples) || self.tuples == other.tuples)
+    }
 }
 
 impl Relation {
     /// The empty relation of the given arity.
     pub fn empty(arity: usize) -> Self {
-        Relation { arity, tuples: BTreeSet::new() }
+        Relation {
+            arity,
+            tuples: Arc::new(BTreeSet::new()),
+        }
+    }
+
+    /// Whether `self` and `other` physically share one tuple store.
+    ///
+    /// `true` implies equality; the converse need not hold. This is the
+    /// observable half of the copy-on-write contract: snapshots that have
+    /// not diverged share storage, and tests assert on it.
+    pub fn ptr_eq(&self, other: &Relation) -> bool {
+        self.arity == other.arity && Arc::ptr_eq(&self.tuples, &other.tuples)
+    }
+
+    fn from_set(arity: usize, tuples: BTreeSet<Tuple>) -> Self {
+        Relation {
+            arity,
+            tuples: Arc::new(tuples),
+        }
     }
 
     /// Build a relation from rows, checking that every row has `arity`.
@@ -41,7 +77,7 @@ impl Relation {
         let arity = t.arity();
         let mut tuples = BTreeSet::new();
         tuples.insert(t);
-        Relation { arity, tuples }
+        Relation::from_set(arity, tuples)
     }
 
     /// This relation's arity.
@@ -74,12 +110,23 @@ impl Relation {
                 found: t.arity(),
             });
         }
-        Ok(self.tuples.insert(t))
+        if self.tuples.contains(&t) {
+            // Duplicate insert: never un-share the storage for a no-op.
+            return Ok(false);
+        }
+        Ok(Arc::make_mut(&mut self.tuples).insert(t))
     }
 
     /// Remove a tuple; returns whether it was present.
+    ///
+    /// Copy-on-write note: a removal that misses still un-shares the
+    /// storage only when the tuple is present — we check membership first
+    /// so no-op removes never force a copy of a shared set.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        self.tuples.remove(t)
+        if !self.tuples.contains(t) {
+            return false;
+        }
+        Arc::make_mut(&mut self.tuples).remove(t)
     }
 
     /// Iterate tuples in sorted order.
@@ -88,49 +135,85 @@ impl Relation {
     }
 
     /// Set union. Errors on arity mismatch.
+    ///
+    /// When one operand is empty (or both share storage) the other is
+    /// returned as a shared-storage clone — no tuples are copied.
     pub fn union(&self, other: &Relation) -> Result<Relation, StorageError> {
         self.check_same_arity(other, "union")?;
-        Ok(Relation {
-            arity: self.arity,
-            tuples: self.tuples.union(&other.tuples).cloned().collect(),
-        })
+        if other.is_empty() || Arc::ptr_eq(&self.tuples, &other.tuples) {
+            return Ok(self.clone());
+        }
+        if self.is_empty() {
+            return Ok(other.clone());
+        }
+        let out: BTreeSet<Tuple> = self.tuples.union(&other.tuples).cloned().collect();
+        // other ⊆ self (or vice versa): the union *is* one operand — hand
+        // its storage back shared instead of keeping the fresh copy.
+        if out.len() == self.tuples.len() {
+            return Ok(self.clone());
+        }
+        if out.len() == other.tuples.len() {
+            return Ok(other.clone());
+        }
+        Ok(Relation::from_set(self.arity, out))
     }
 
     /// Set intersection. Errors on arity mismatch.
     pub fn intersect(&self, other: &Relation) -> Result<Relation, StorageError> {
         self.check_same_arity(other, "intersection")?;
-        Ok(Relation {
-            arity: self.arity,
-            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
-        })
+        if Arc::ptr_eq(&self.tuples, &other.tuples) {
+            return Ok(self.clone());
+        }
+        let out: BTreeSet<Tuple> = self.tuples.intersection(&other.tuples).cloned().collect();
+        if out.len() == self.tuples.len() {
+            return Ok(self.clone());
+        }
+        if out.len() == other.tuples.len() {
+            return Ok(other.clone());
+        }
+        Ok(Relation::from_set(self.arity, out))
     }
 
     /// Set difference (`self − other`). Errors on arity mismatch.
+    ///
+    /// Subtracting nothing returns `self` as a shared-storage clone.
     pub fn difference(&self, other: &Relation) -> Result<Relation, StorageError> {
         self.check_same_arity(other, "difference")?;
-        Ok(Relation {
-            arity: self.arity,
-            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
-        })
+        if other.is_empty() {
+            return Ok(self.clone());
+        }
+        if Arc::ptr_eq(&self.tuples, &other.tuples) {
+            return Ok(Relation::empty(self.arity));
+        }
+        let out: BTreeSet<Tuple> = self.tuples.difference(&other.tuples).cloned().collect();
+        // Disjoint subtrahend: nothing was removed — keep shared storage.
+        if out.len() == self.tuples.len() {
+            return Ok(self.clone());
+        }
+        Ok(Relation::from_set(self.arity, out))
     }
 
     /// Cartesian product: arity is the sum of operand arities.
     pub fn product(&self, other: &Relation) -> Relation {
         let mut tuples = BTreeSet::new();
-        for a in &self.tuples {
-            for b in &other.tuples {
+        for a in self.tuples.iter() {
+            for b in other.tuples.iter() {
                 tuples.insert(a.concat(b));
             }
         }
-        Relation { arity: self.arity + other.arity, tuples }
+        Relation::from_set(self.arity + other.arity, tuples)
     }
 
     /// Select: keep tuples satisfying `pred`.
     pub fn select(&self, mut pred: impl FnMut(&Tuple) -> bool) -> Relation {
-        Relation {
-            arity: self.arity,
-            tuples: self.tuples.iter().filter(|t| pred(t)).cloned().collect::<BTreeSet<_>>(),
-        }
+        Relation::from_set(
+            self.arity,
+            self.tuples
+                .iter()
+                .filter(|t| pred(t))
+                .cloned()
+                .collect::<BTreeSet<_>>(),
+        )
     }
 
     /// Project onto column positions. Errors if any position is out of range.
@@ -142,10 +225,10 @@ impl Relation {
                 found: bad,
             });
         }
-        Ok(Relation {
-            arity: cols.len(),
-            tuples: self.tuples.iter().map(|t| t.project(cols)).collect(),
-        })
+        Ok(Relation::from_set(
+            cols.len(),
+            self.tuples.iter().map(|t| t.project(cols)).collect(),
+        ))
     }
 
     fn check_same_arity(
@@ -179,16 +262,29 @@ impl fmt::Display for Relation {
 
 impl FromIterator<Tuple> for Relation {
     /// Collect tuples into a relation, inferring arity from the first tuple.
-    /// An empty iterator yields the 0-ary empty relation. Tuples whose arity
-    /// disagrees with the first are skipped — prefer [`Relation::from_rows`]
-    /// when mismatches should be errors.
+    ///
+    /// Contract: **every tuple must have the same arity as the first**. An
+    /// empty iterator yields the 0-ary empty relation. A mismatched tuple
+    /// panics in debug builds (it would otherwise corrupt set cardinality
+    /// silently); in release builds mismatches are skipped for
+    /// backward-compatible behavior. Use [`Relation::from_rows`] when
+    /// mismatches should surface as recoverable errors.
     fn from_iter<T: IntoIterator<Item = Tuple>>(iter: T) -> Self {
         let mut it = iter.into_iter();
         match it.next() {
             None => Relation::empty(0),
             Some(first) => {
+                let arity = first.arity();
                 let mut rel = Relation::singleton(first);
                 for t in it {
+                    debug_assert_eq!(
+                        t.arity(),
+                        arity,
+                        "FromIterator<Tuple> for Relation: tuple arity {} \
+                         disagrees with inferred arity {}",
+                        t.arity(),
+                        arity,
+                    );
                     let _ = rel.insert(t);
                 }
                 rel
@@ -292,5 +388,43 @@ mod tests {
         let a = rel_of([[Value::int(1), Value::int(2)]]);
         assert_eq!(a.arity(), 2);
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "disagrees with inferred arity")]
+    fn from_iter_panics_on_arity_mismatch_in_debug() {
+        let _: Relation = [tuple![1, 2], tuple![3]].into_iter().collect();
+    }
+
+    #[test]
+    fn clone_shares_storage_until_write() {
+        let a = r(&[[1, 1], [2, 2]]);
+        let mut b = a.clone();
+        assert!(a.ptr_eq(&b), "clone must share storage");
+        assert!(b.insert(tuple![3, 3]).unwrap());
+        assert!(!a.ptr_eq(&b), "first write must un-share");
+        assert_eq!(a.len(), 2, "original must be isolated from the write");
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn noop_mutations_keep_sharing() {
+        let a = r(&[[1, 1]]);
+        let mut b = a.clone();
+        assert!(!b.insert(tuple![1, 1]).unwrap(), "duplicate insert");
+        assert!(!b.remove(&tuple![9, 9]), "missing remove");
+        assert!(a.ptr_eq(&b), "no-op mutations must not copy the set");
+    }
+
+    #[test]
+    fn empty_operand_set_ops_share_storage() {
+        let a = r(&[[1, 1], [2, 2]]);
+        let e = Relation::empty(2);
+        assert!(a.union(&e).unwrap().ptr_eq(&a));
+        assert!(e.union(&a).unwrap().ptr_eq(&a));
+        assert!(a.difference(&e).unwrap().ptr_eq(&a));
+        assert!(a.intersect(&a.clone()).unwrap().ptr_eq(&a));
+        assert!(a.difference(&a.clone()).unwrap().is_empty());
     }
 }

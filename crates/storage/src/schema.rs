@@ -73,7 +73,10 @@ impl RelSchema {
     /// Named schema; arity is the number of attribute names.
     pub fn named(attrs: impl IntoIterator<Item = impl Into<String>>) -> Self {
         let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
-        RelSchema { arity: attrs.len(), attrs: Some(attrs) }
+        RelSchema {
+            arity: attrs.len(),
+            attrs: Some(attrs),
+        }
     }
 
     /// Resolve an attribute name to its column position.
@@ -103,9 +106,7 @@ impl Catalog {
     ) -> Result<(), StorageError> {
         let name = name.into();
         match self.rels.get(&name) {
-            Some(existing) if *existing != schema => {
-                Err(StorageError::DuplicateRelation(name))
-            }
+            Some(existing) if *existing != schema => Err(StorageError::DuplicateRelation(name)),
             _ => {
                 self.rels.insert(name, schema);
                 Ok(())

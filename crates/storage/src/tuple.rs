@@ -19,7 +19,9 @@ pub struct Tuple {
 impl Tuple {
     /// Build a tuple from an iterator of values.
     pub fn new(fields: impl IntoIterator<Item = Value>) -> Self {
-        Tuple { fields: fields.into_iter().collect() }
+        Tuple {
+            fields: fields.into_iter().collect(),
+        }
     }
 
     /// The empty (0-ary) tuple.
@@ -44,7 +46,14 @@ impl Tuple {
 
     /// Concatenate two tuples (used by cartesian product and join).
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        Tuple { fields: self.fields.iter().chain(other.fields.iter()).cloned().collect() }
+        Tuple {
+            fields: self
+                .fields
+                .iter()
+                .chain(other.fields.iter())
+                .cloned()
+                .collect(),
+        }
     }
 
     /// Project this tuple onto the given column positions.
@@ -53,7 +62,9 @@ impl Tuple {
     /// of range — callers are expected to have arity-checked the projection
     /// list (the `hypoquery-algebra` typing pass guarantees this).
     pub fn project(&self, cols: &[usize]) -> Tuple {
-        Tuple { fields: cols.iter().map(|&c| self.fields[c].clone()).collect() }
+        Tuple {
+            fields: cols.iter().map(|&c| self.fields[c].clone()).collect(),
+        }
     }
 }
 

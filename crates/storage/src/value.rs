@@ -155,7 +155,12 @@ mod tests {
     fn values_of_different_types_have_total_order() {
         // The derived order is by variant then payload; all we need is that
         // it is total and consistent.
-        let mut vs = vec![Value::str("b"), Value::int(1), Value::bool(true), Value::str("a")];
+        let mut vs = vec![
+            Value::str("b"),
+            Value::int(1),
+            Value::bool(true),
+            Value::str("a"),
+        ];
         vs.sort();
         let mut again = vs.clone();
         again.sort();

@@ -41,9 +41,14 @@ impl Universe {
         ];
         let mut catalog = Catalog::new();
         for (name, arity) in &specs {
-            catalog.declare_arity(name.clone(), *arity).expect("fresh names");
+            catalog
+                .declare_arity(name.clone(), *arity)
+                .expect("fresh names");
         }
-        Universe { catalog, names: specs }
+        Universe {
+            catalog,
+            names: specs,
+        }
     }
 
     /// Names having the given arity.
@@ -117,15 +122,13 @@ pub fn arb_bag_relation(
     max_rows: usize,
     max_mult: u64,
 ) -> impl Strategy<Value = BagRelation> {
-    prop::collection::vec((arb_tuple(arity), 1..=max_mult), 0..=max_rows).prop_map(
-        move |rows| {
-            let mut bag = BagRelation::empty(arity);
-            for (t, m) in rows {
-                bag.insert(t, m).expect("generated rows have uniform arity");
-            }
-            bag
-        },
-    )
+    prop::collection::vec((arb_tuple(arity), 1..=max_mult), 0..=max_rows).prop_map(move |rows| {
+        let mut bag = BagRelation::empty(arity);
+        for (t, m) in rows {
+            bag.insert(t, m).expect("generated rows have uniform arity");
+        }
+        bag
+    })
 }
 
 /// Strategy for scalar terms over `arity` columns.
@@ -217,9 +220,15 @@ fn arb_query_impl(
         (sub.clone(), arb_predicate(arity, 1))
             .prop_map(|(q, p)| q.select(p))
             .boxed(),
-        (sub.clone(), sub.clone()).prop_map(|(a, b)| a.union(b)).boxed(),
-        (sub.clone(), sub.clone()).prop_map(|(a, b)| a.intersect(b)).boxed(),
-        (sub.clone(), sub.clone()).prop_map(|(a, b)| a.diff(b)).boxed(),
+        (sub.clone(), sub.clone())
+            .prop_map(|(a, b)| a.union(b))
+            .boxed(),
+        (sub.clone(), sub.clone())
+            .prop_map(|(a, b)| a.intersect(b))
+            .boxed(),
+        (sub.clone(), sub.clone())
+            .prop_map(|(a, b)| a.diff(b))
+            .boxed(),
     ];
     // Projection from a (possibly) wider input.
     for src_arity in universe.arities() {
@@ -234,7 +243,11 @@ fn arb_query_impl(
         let ra = arity - la;
         let l = arb_query_impl(universe, la, depth - 1, hypothetical);
         let r = arb_query_impl(universe, ra, depth - 1, hypothetical);
-        options.push((l.clone(), r.clone()).prop_map(|(a, b)| a.product(b)).boxed());
+        options.push(
+            (l.clone(), r.clone())
+                .prop_map(|(a, b)| a.product(b))
+                .boxed(),
+        );
         options.push(
             (l, r, arb_predicate(arity, 1))
                 .prop_map(|(a, b, p)| a.join(b, p))
@@ -308,7 +321,9 @@ pub fn arb_atomic_update_seq(universe: &Universe, max_len: usize) -> BoxedStrate
             .collect();
         prop::strategy::Union::new(choices).boxed()
     };
-    prop::collection::vec(atomic, 1..=max_len).prop_map(Update::seq).boxed()
+    prop::collection::vec(atomic, 1..=max_len)
+        .prop_map(Update::seq)
+        .boxed()
 }
 
 /// Strategy for explicit substitutions with arity-correct bindings
@@ -323,11 +338,7 @@ pub fn arb_pure_subst(universe: &Universe, depth: u32) -> BoxedStrategy<Explicit
     subst_impl(universe, depth, false)
 }
 
-fn subst_impl(
-    universe: &Universe,
-    depth: u32,
-    hypothetical: bool,
-) -> BoxedStrategy<ExplicitSubst> {
+fn subst_impl(universe: &Universe, depth: u32, hypothetical: bool) -> BoxedStrategy<ExplicitSubst> {
     let per_name: Vec<BoxedStrategy<Option<(RelName, Query)>>> = universe
         .names
         .iter()

@@ -87,9 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     // A shipment consumes stock: part 1 drops by 8 (12 → 4).
-    let proposed = parse_update(
-        "delete from parts (row(1, 12)); insert into parts (row(1, 4))",
-    )?;
+    let proposed = parse_update("delete from parts (row(1, 12)); insert into parts (row(1, 4))")?;
 
     println!("proposed update: {proposed}\n");
     let full = react(&db, proposed, &rules);

@@ -79,6 +79,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Commit the winner; its whole path (cleanup, then restock) is applied.
     tree.commit(&mut db, "restock")?;
-    println!("\ncommitted `restock`; stock is now: {}", db.query("stock")?);
+    println!(
+        "\ncommitted `restock`; stock is now: {}",
+        db.query("stock")?
+    );
     Ok(())
 }

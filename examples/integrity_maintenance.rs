@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An update that would break referential integrity is rejected
     // *before* touching the state — the check ran hypothetically.
     match db.execute_update("insert into transfers (row(1, 99))") {
-        Err(EngineError::ConstraintViolation { constraint, violations }) => {
+        Err(EngineError::ConstraintViolation {
+            constraint,
+            violations,
+        }) => {
             println!("aborted: transfer to unknown account (constraint `{constraint}`, {violations} violation(s))");
         }
         other => panic!("expected violation, got {other:?}"),
@@ -50,22 +53,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A compound update can be fine even when its prefix is not: drain an
     // account but also create the destination first. The constraint is
     // checked against the *final* hypothetical state.
-    db.execute_update(
-        "insert into accounts (row(99, 0)); insert into transfers (row(2, 99))",
-    )?;
+    db.execute_update("insert into accounts (row(99, 0)); insert into transfers (row(2, 99))")?;
     println!("ok:      account 99 created and transfer recorded in one update");
 
     // Balance updates: debiting 100 from account 3 (balance 50) aborts...
-    match db.execute_update(
-        "delete from accounts (row(3, 50)); insert into accounts (row(3, -50))",
-    ) {
+    match db.execute_update("delete from accounts (row(3, 50)); insert into accounts (row(3, -50))")
+    {
         Err(EngineError::ConstraintViolation { constraint, .. }) => {
             println!("aborted: overdraft on account 3 (constraint `{constraint}`)");
         }
         other => panic!("expected violation, got {other:?}"),
     }
     // ...and the state is exactly as before the attempt.
-    assert!(db.query("select #0 = 3 (accounts)")?.contains(&tuple![3, 50]));
+    assert!(db
+        .query("select #0 = 3 (accounts)")?
+        .contains(&tuple![3, 50]));
 
     // Conditional updates (a §6 extension) express the guarded version
     // inside the update language itself: only debit if covered.

@@ -13,7 +13,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.define("dept", 2)?;
     db.load(
         "emp",
-        [tuple![1, 100], tuple![2, 200], tuple![3, 300], tuple![4, 400]],
+        [
+            tuple![1, 100],
+            tuple![2, 200],
+            tuple![3, 300],
+            tuple![4, 400],
+        ],
     )?;
     db.load("dept", [tuple![1, 10], tuple![2, 10], tuple![3, 20]])?;
 
@@ -33,7 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. The same query can be evaluated anywhere on the paper's
     //    lazy↔eager spectrum — the answer never changes, only the plan.
-    for strategy in [Strategy::Lazy, Strategy::Hql1, Strategy::Hql2, Strategy::Delta] {
+    for strategy in [
+        Strategy::Lazy,
+        Strategy::Hql1,
+        Strategy::Hql2,
+        Strategy::Delta,
+    ] {
         let out = db.query_with(q, strategy)?;
         assert_eq!(out, hypothetical);
         println!("strategy {strategy:<5} agrees ({} rows)", out.len());

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example versioned_workspace`
 
-use hypoquery::{Database, PreparedState, Transaction};
 use hypoquery::storage::tuple;
+use hypoquery::{Database, PreparedState, Transaction};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Named schemas: queries below use attribute names, not positions.
@@ -14,7 +14,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.define_named("limits", ["trader", "cap"])?;
     db.load(
         "trades",
-        [tuple![1, 500], tuple![2, 1200], tuple![3, 80], tuple![4, 2500]],
+        [
+            tuple![1, 500],
+            tuple![2, 1200],
+            tuple![3, 80],
+            tuple![4, 2500],
+        ],
     )?;
     db.load("limits", [tuple![1, 1000], tuple![2, 3000]])?;
     db.add_constraint("positive_amounts", "select amount < 0 (trades)")?;
@@ -43,10 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- A prepared hypothetical state, queried many times -------------
     // "What if we cancelled all large trades?" — derive the composed
     // substitution once, materialize once, run a family of analyses.
-    let mut whatif = PreparedState::parse(
-        &db,
-        "{delete from trades (select amount > 1000 (trades))}",
-    )?;
+    let mut whatif =
+        PreparedState::parse(&db, "{delete from trades (select amount > 1000 (trades))}")?;
     whatif.materialize(&db)?;
     for q in [
         "aggregate [; count, sum amount] (trades)",

@@ -21,7 +21,12 @@ fn shop() -> Database {
     .unwrap();
     db.load(
         "orders",
-        [tuple![100, 1], tuple![100, 3], tuple![101, 2], tuple![102, 4]],
+        [
+            tuple![100, 1],
+            tuple![100, 3],
+            tuple![101, 2],
+            tuple![102, 4],
+        ],
     )
     .unwrap();
     db.load("vip", [tuple![101]]).unwrap();
@@ -32,7 +37,8 @@ fn shop() -> Database {
 fn full_scenario_pricing_whatif() {
     let mut db = shop();
     // Constraint: no product may cost more than 100.
-    db.add_constraint("price_cap", "select #1 > 100 (products)").unwrap();
+    db.add_constraint("price_cap", "select #1 > 100 (products)")
+        .unwrap();
 
     // Branches: two catalog-trimming proposals.
     let mut tree = WhatIfTree::new();
@@ -56,7 +62,9 @@ fn full_scenario_pricing_whatif() {
     let dangling = "project 0, 1 (orders) except \
                     project 0, 1 (orders join products on #1 = #2)";
     assert!(db.query(dangling).unwrap().is_empty());
-    let at_cheap = tree.query_at(&db, "drop_cheap", dangling, Strategy::Auto).unwrap();
+    let at_cheap = tree
+        .query_at(&db, "drop_cheap", dangling, Strategy::Auto)
+        .unwrap();
     assert_eq!(at_cheap.len(), 1); // order 100 references product 1
     let at_premium = tree
         .query_at(&db, "premium_only", dangling, Strategy::Auto)
@@ -64,7 +72,12 @@ fn full_scenario_pricing_whatif() {
     assert_eq!(at_premium.len(), 3);
 
     // All strategies agree at every branch.
-    for s in [Strategy::Lazy, Strategy::Hql1, Strategy::Hql2, Strategy::Delta] {
+    for s in [
+        Strategy::Lazy,
+        Strategy::Hql1,
+        Strategy::Hql2,
+        Strategy::Delta,
+    ] {
         assert_eq!(
             tree.query_at(&db, "premium_only", dangling, s).unwrap(),
             at_premium,
@@ -97,7 +110,12 @@ fn aggregation_distributes_through_when() {
     let out = db.query(q).unwrap();
     assert!(out.contains(&tuple![5, 200, 10, 70]));
     // Same through every strategy.
-    for s in [Strategy::Lazy, Strategy::Hql1, Strategy::Hql2, Strategy::Delta] {
+    for s in [
+        Strategy::Lazy,
+        Strategy::Hql1,
+        Strategy::Hql2,
+        Strategy::Delta,
+    ] {
         assert_eq!(db.query_with(q, s).unwrap(), out);
     }
     // Grouped.
@@ -112,7 +130,11 @@ fn temps_compose_with_hypotheticals() {
     let mut temps = TempTables::new();
     // vip is both a base table and (re)definable as a temp view.
     temps
-        .define(&db, "vip", "project 0 (orders join products on #1 = #2 and #3 >= 40)")
+        .define(
+            &db,
+            "vip",
+            "project 0 (orders join products on #1 = #2 and #3 >= 40)",
+        )
         .unwrap();
     // Querying the temp under a hypothetical price change: product 3 drops
     // below 40, order 100 leaves the view; 102 stays.
@@ -131,10 +153,13 @@ fn temps_compose_with_hypotheticals() {
 #[test]
 fn constraint_violations_identify_all_constraints_in_order() {
     let mut db = shop();
-    db.add_constraint("a_cap", "select #1 > 50 (products)").unwrap();
+    db.add_constraint("a_cap", "select #1 > 50 (products)")
+        .unwrap();
     // Already-violating state is possible (constraints only guard
     // updates); a no-op-ish update now trips the earliest constraint.
-    let err = db.execute_update("insert into products (row(9, 60))").unwrap_err();
+    let err = db
+        .execute_update("insert into products (row(9, 60))")
+        .unwrap_err();
     assert!(matches!(err, EngineError::ConstraintViolation { .. }));
 }
 

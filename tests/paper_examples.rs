@@ -17,7 +17,13 @@ fn example_db() -> Database {
     db.load("R", [tuple![61, 0], tuple![10, 0]]).unwrap();
     db.load(
         "S",
-        [tuple![10, 1], tuple![35, 2], tuple![45, 3], tuple![61, 4], tuple![75, 5]],
+        [
+            tuple![10, 1],
+            tuple![35, 2],
+            tuple![45, 3],
+            tuple![61, 4],
+            tuple![75, 5],
+        ],
     )
     .unwrap();
     db
@@ -40,9 +46,8 @@ fn example_2_1b_lazy_proves_emptiness_without_data() {
     // The two branches as the paper derives them: both reduce to
     // (R ∪ σ_{A≥60}(S)) ⋈ σ_{A≥60}(S).
     let branch = "(R join S on #0 = #2) when {insert into R (select #0 > 30 (S))}";
-    let q_src = format!(
-        "(({branch}) except ({branch})) when {{delete from S (select #0 < 60 (S))}}"
-    );
+    let q_src =
+        format!("(({branch}) except ({branch})) when {{delete from S (select #0 < 60 (S))}}");
 
     // Lazy reduction + RA optimization proves emptiness *syntactically*.
     let q = db.prepare(&q_src).unwrap();
@@ -51,7 +56,13 @@ fn example_2_1b_lazy_proves_emptiness_without_data() {
     assert_eq!(optimized, Query::empty(4), "lazy rewriting must reach ∅");
 
     // And of course every strategy returns the empty relation on data.
-    for s in [Strategy::Auto, Strategy::Lazy, Strategy::Hql1, Strategy::Hql2, Strategy::Delta] {
+    for s in [
+        Strategy::Auto,
+        Strategy::Lazy,
+        Strategy::Hql1,
+        Strategy::Hql2,
+        Strategy::Delta,
+    ] {
         assert!(db.query_with(&q_src, s).unwrap().is_empty(), "strategy {s}");
     }
 }
@@ -88,19 +99,14 @@ fn example_2_2a_composed_substitution_matches_paper() {
     let r_binding = optimize(rho.get(&"R".into()).unwrap(), db.catalog()).0;
     let sigma_ge60 = Query::base("S").select(Predicate::col_cmp(0, CmpOp::Ge, 60));
     assert_eq!(s_binding, sigma_ge60);
-    assert_eq!(
-        r_binding,
-        Query::base("R").union(sigma_ge60.clone())
-    );
+    assert_eq!(r_binding, Query::base("R").union(sigma_ge60.clone()));
 
     // "This substitution remains valid even if the underlying database
     // state is changed": apply it to many different queries/states and
     // compare against nested whens.
     let nested = "(R union S) when {insert into R (select #0 > 30 (S))} \
                   when {delete from S (select #0 < 60 (S))}";
-    let composed = Query::base("R")
-        .union(Query::base("S"))
-        .when(eta.clone());
+    let composed = Query::base("R").union(Query::base("S")).when(eta.clone());
     assert_eq!(
         db.query(nested).unwrap(),
         db.execute(&composed, Strategy::Auto).unwrap()
@@ -125,13 +131,14 @@ fn example_2_3_binding_removal() {
     assert_eq!(trace.count(Rule::DropUnusedBinding), 1);
     assert!(!reduced.to_string().contains("< 5"), "S slice must be gone");
     // All strategies agree on the value.
-    let expected = db.query_with(
-        "(R union T) when {insert into R (select #0 > 1 (S)); \
+    let expected = db
+        .query_with(
+            "(R union T) when {insert into R (select #0 > 1 (S)); \
                            delete from S (select #0 < 5 (R)); \
                            insert into T (project 0, 1 (R))}",
-        Strategy::Hql1,
-    )
-    .unwrap();
+            Strategy::Hql1,
+        )
+        .unwrap();
     assert_eq!(
         hypoquery::eval::eval_pure(&reduced, db.state()).unwrap(),
         expected
@@ -155,8 +162,7 @@ fn example_2_2b_family_of_queries() {
         Query::base("R").diff(Query::base("S")),
     ] {
         // Reuse ρ: sub into each family member...
-        let via_subst =
-            hypoquery::core::sub_query(&family_member, &rho).unwrap();
+        let via_subst = hypoquery::core::sub_query(&family_member, &rho).unwrap();
         let lhs = hypoquery::eval::eval_pure(&via_subst, db.state()).unwrap();
         // ...must equal evaluating the nested hypothetical directly.
         let rhs = db
@@ -173,20 +179,53 @@ fn example_2_2b_family_of_queries() {
 fn example_2_1_tree_of_alternatives() {
     let db = example_db();
     let mut tree = hypoquery::WhatIfTree::new();
-    tree.branch(&db, "eta3", None, "delete from S (select #0 < 60 (S))").unwrap();
-    tree.branch(&db, "eta1", Some("eta3"), "insert into R (select #0 > 30 (S))").unwrap();
-    tree.branch(&db, "eta2", Some("eta3"), "insert into R (select #0 > 40 (S))").unwrap();
+    tree.branch(&db, "eta3", None, "delete from S (select #0 < 60 (S))")
+        .unwrap();
+    tree.branch(
+        &db,
+        "eta1",
+        Some("eta3"),
+        "insert into R (select #0 > 30 (S))",
+    )
+    .unwrap();
+    tree.branch(
+        &db,
+        "eta2",
+        Some("eta3"),
+        "insert into R (select #0 > 40 (S))",
+    )
+    .unwrap();
     let q = "R join S on #0 = #2";
-    let d12 = tree.diff_between(&db, "eta1", "eta2", q, Strategy::Auto).unwrap();
+    let d12 = tree
+        .diff_between(&db, "eta1", "eta2", q, Strategy::Auto)
+        .unwrap();
     // A>30 vs A>40 under "only A≥60 survives in S": identical inserts, so
     // the difference is empty — the same collapse as Example 2.1(b).
     assert!(d12.is_empty());
     // But against a cut at 70 the branches differ.
     let mut tree2 = hypoquery::WhatIfTree::new();
-    tree2.branch(&db, "eta3", None, "delete from S (select #0 < 60 (S))").unwrap();
-    tree2.branch(&db, "eta1", Some("eta3"), "insert into R (select #0 > 30 (S))").unwrap();
-    tree2.branch(&db, "eta2", Some("eta3"), "insert into R (select #0 > 70 (S))").unwrap();
-    let d = tree2.diff_between(&db, "eta1", "eta2", q, Strategy::Auto).unwrap();
+    tree2
+        .branch(&db, "eta3", None, "delete from S (select #0 < 60 (S))")
+        .unwrap();
+    tree2
+        .branch(
+            &db,
+            "eta1",
+            Some("eta3"),
+            "insert into R (select #0 > 30 (S))",
+        )
+        .unwrap();
+    tree2
+        .branch(
+            &db,
+            "eta2",
+            Some("eta3"),
+            "insert into R (select #0 > 70 (S))",
+        )
+        .unwrap();
+    let d = tree2
+        .diff_between(&db, "eta1", "eta2", q, Strategy::Auto)
+        .unwrap();
     assert!(!d.is_empty());
 }
 

@@ -1,0 +1,254 @@
+//! Minimal offline shim for the `criterion` API surface used by this
+//! workspace's benches: `Criterion`, `benchmark_group` (with
+//! `sample_size` / `measurement_time` / `bench_function` /
+//! `bench_with_input`), `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: per sample, a batch of iterations sized to ~1/10 of
+//! the per-benchmark time budget is timed and divided by the batch size;
+//! the min / median / mean over samples are reported. Honors
+//! `BENCH_JSON=<path>` by appending one JSON object per benchmark.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` display form, as in real criterion.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id with no parameter part.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times closures handed to it by benchmark bodies.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting per-iteration samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and estimate a single-iteration cost.
+        let warm = Instant::now();
+        black_box(routine());
+        let mut per_iter = warm.elapsed().max(Duration::from_nanos(1));
+        let sample_budget = self.budget.as_secs_f64() / self.sample_size as f64;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let batch = (sample_budget / per_iter.as_secs_f64()).clamp(1.0, 1e7) as u64;
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            per_iter = Duration::from_secs_f64((elapsed.as_secs_f64() / batch as f64).max(1e-9));
+            self.samples
+                .push(elapsed.as_secs_f64() * 1e9 / batch as f64);
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into().0;
+        let mut b = Bencher {
+            samples: Vec::new(),
+            budget: self.measurement_time,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        self.criterion.report(&self.name, &id, &b.samples);
+        self
+    }
+
+    /// Run one benchmark taking a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (reporting already happened per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.id)
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            json_path: std::env::var("BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; the shim has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Run one stand-alone benchmark with default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        };
+        g.bench_function(id, f);
+        self
+    }
+
+    fn report(&mut self, group: &str, id: &str, samples: &[f64]) {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let (min, median, mean) = if sorted.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                sorted[0],
+                sorted[sorted.len() / 2],
+                sorted.iter().sum::<f64>() / sorted.len() as f64,
+            )
+        };
+        let full = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        println!(
+            "{full:<60} min {:>12} median {:>12} mean {:>12}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        if let Some(path) = &self.json_path {
+            if let Ok(mut fh) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    fh,
+                    "{{\"bench\":\"{full}\",\"min_ns\":{min:.1},\"median_ns\":{median:.1},\"mean_ns\":{mean:.1},\"samples\":{}}}",
+                    sorted.len()
+                );
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

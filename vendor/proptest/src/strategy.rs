@@ -1,0 +1,297 @@
+//! The `Strategy` trait and combinators for the proptest shim.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use crate::collection::SizeRange;
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike real proptest there is no shrinking: `generate` produces a
+/// value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generate a value, then build and sample a second strategy from it.
+    fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keep only values satisfying `f` (re-sampling up to a retry cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erase into a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe generation, used behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoxedStrategy")
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+    fn generate(&self, rng: &mut TestRng) -> O::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Copy, Debug)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.source.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?}: 1000 consecutive rejections", self.whence);
+    }
+}
+
+/// Weighted choice between same-valued strategies.
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T: Debug> Union<T> {
+    /// Equal-weight choice between `strategies`.
+    pub fn new(strategies: impl IntoIterator<Item = BoxedStrategy<T>>) -> Self {
+        Union::new_weighted(strategies.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted choice; weights need not be normalized.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "Union requires at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "Union requires a positive total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = ((rng.next_u64() as u128 * self.total as u128) >> 64) as u64;
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        self.arms.last().expect("non-empty").1.generate(rng)
+    }
+}
+
+/// See [`crate::collection::vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.lo + rng.below(self.size.hi - self.size.lo + 1);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `Vec` of strategies generates element-wise: one value per entry.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.in_range(self.start as i128, self.end as i128 - 1) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.in_range(*self.start() as i128, *self.end() as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i64, u64, i32, u32, u8, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3i64..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (1u64..=4).generate(&mut rng);
+            assert!((1..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight_arms() {
+        let mut rng = TestRng::new(2);
+        let u = Union::new_weighted(vec![(0u32, Just(1i64).boxed()), (5u32, Just(2i64).boxed())]);
+        for _ in 0..100 {
+            assert_eq!(u.generate(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let mut rng = TestRng::new(3);
+        let s = crate::collection::vec((0usize..5).prop_map(|x| x * 2), 2..=4);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+            assert!(v.iter().all(|x| x % 2 == 0 && *x < 10));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0i64..10, flip in any::<bool>()) {
+            prop_assume!(x != 3);
+            prop_assert!(x < 10);
+            prop_assert_ne!(x, 3);
+            if flip {
+                prop_assert_eq!(x.abs(), x);
+            }
+        }
+    }
+}
