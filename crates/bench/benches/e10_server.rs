@@ -1,0 +1,79 @@
+//! E10 — the network service layer: wire-protocol overhead and
+//! branch-scoped evaluation over loopback.
+//!
+//! Three comparisons against the in-process baseline:
+//!
+//! 1. **Protocol floor.** `PING` round-trips measure framing + socket +
+//!    dispatch with zero evaluation.
+//! 2. **Query overhead.** The same HQL evaluated via `Session::handle`
+//!    in-process vs. a loopback round-trip — the gap is what the wire
+//!    costs on top of evaluation.
+//! 3. **Branch-scoped queries.** `QUERY` inside a what-if branch over
+//!    the wire, where per-session CoW state does the heavy lifting.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hypoquery_bench::workload::two_table_db;
+use hypoquery_client::Client;
+use hypoquery_server::proto::{Request, Verb};
+use hypoquery_server::{serve, ServerConfig, Session};
+
+const QUERY: &str = "select #0 > 990 (R) union select #0 <= 5 (S)";
+const BRANCH_UPDATE: &str = "delete from R (select #0 < 500 (R))";
+
+fn e10_database(rows: usize) -> hypoquery_engine::Database {
+    let state = two_table_db(rows, rows, 1000, 10);
+    let mut db = hypoquery_engine::Database::with_catalog(state.catalog().clone());
+    for (name, rel) in state.iter() {
+        db.load(name.as_str(), rel.iter().cloned()).unwrap();
+    }
+    db
+}
+
+fn bench_wire_overhead(c: &mut Criterion) {
+    let rows = 10_000;
+    let db = e10_database(rows);
+
+    let handle = serve(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
+        },
+        db.clone(),
+    )
+    .unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    let mut g = c.benchmark_group("e10_server");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    // In-process baseline: the same dispatch path the server runs per
+    // request, minus sockets and framing.
+    let mut session = Session::new(db.clone());
+    let req = Request::new(Verb::Query, QUERY, "");
+    g.bench_function(format!("inproc_query_{rows}"), |b| {
+        b.iter(|| session.handle(&req))
+    });
+
+    g.bench_function("wire_ping", |b| b.iter(|| client.ping().unwrap()));
+
+    g.bench_function(format!("wire_query_{rows}"), |b| {
+        b.iter(|| client.query(QUERY).unwrap().len())
+    });
+
+    // Branch-scoped: evaluate inside a what-if branch on the server.
+    client.branch("cut", None, BRANCH_UPDATE).unwrap();
+    client.switch(Some("cut")).unwrap();
+    g.bench_function(format!("wire_branch_query_{rows}"), |b| {
+        b.iter(|| client.query(QUERY).unwrap().len())
+    });
+    g.finish();
+
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+criterion_group!(benches, bench_wire_overhead);
+criterion_main!(benches);

@@ -54,6 +54,7 @@ fn main() {
     e7();
     e8();
     e9();
+    e10();
 }
 
 fn e1() {
@@ -455,6 +456,143 @@ fn e9() {
     );
 
     let path = std::env::var("BENCH_E9_JSON").unwrap_or_else(|_| "BENCH_e9.json".to_string());
+    let mut out = String::from("{\n");
+    for (i, (config, median)) in json.iter().enumerate() {
+        let comma = if i + 1 < json.len() { "," } else { "" };
+        out.push_str(&format!("  \"{config}\": {median:.1}{comma}\n"));
+    }
+    out.push_str("}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn e10() {
+    println!("## E10 — network service layer: wire overhead and served throughput");
+    println!("claims: the wire protocol adds a fixed per-request cost (framing +");
+    println!("loopback + dispatch) on top of in-process evaluation, and the worker");
+    println!("pool sustains many concurrent sessions with per-session CoW branch");
+    println!("state — served results are bit-identical to in-process ones.\n");
+
+    use hypoquery_client::Client;
+    use hypoquery_server::{serve, ServerConfig};
+
+    let rows = 10_000usize;
+    let query = "select #0 > 990 (R) union select #0 <= 5 (S)";
+    let branch_update = "delete from R (select #0 < 500 (R))";
+
+    let state = two_table_db(rows, rows, 1000, 10);
+    let mut db = hypoquery_engine::Database::with_catalog(state.catalog().clone());
+    for (name, rel) in state.iter() {
+        db.load(name.as_str(), rel.iter().cloned()).unwrap();
+    }
+
+    const CLIENTS: usize = 8;
+    let handle = serve(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: CLIENTS,
+            ..ServerConfig::default()
+        },
+        db.clone(),
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    let mut json: Vec<(String, f64)> = Vec::new();
+    let mut bench_ns = |config: &str, reps: usize, f: &mut dyn FnMut() -> usize| -> f64 {
+        let mut samples: Vec<f64> = (0..reps.max(3))
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_secs_f64() * 1e9
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        json.push((config.to_string(), median));
+        median
+    };
+
+    println!("| config | median |");
+    println!("|:--|---:|");
+    let t_inproc = bench_ns(&format!("inproc_query_{rows}"), 101, &mut || {
+        db.query(query).unwrap().len()
+    });
+    println!(
+        "| in-process query ({rows} rows/table) | {} |",
+        fmt_ns(t_inproc)
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    let t_ping = bench_ns("wire_ping", 101, &mut || {
+        client.ping().unwrap();
+        1
+    });
+    println!(
+        "| wire `PING` round-trip (protocol floor) | {} |",
+        fmt_ns(t_ping)
+    );
+    let t_wire = bench_ns(&format!("wire_query_{rows}"), 101, &mut || {
+        client.query(query).unwrap().len()
+    });
+    println!("| wire query round-trip | {} |", fmt_ns(t_wire));
+
+    client.branch("cut", None, branch_update).unwrap();
+    client.switch(Some("cut")).unwrap();
+    let t_branch = bench_ns(&format!("wire_branch_query_{rows}"), 101, &mut || {
+        client.query(query).unwrap().len()
+    });
+    println!(
+        "| wire query inside a what-if branch | {} |",
+        fmt_ns(t_branch)
+    );
+    client.switch(None).unwrap();
+
+    // Served results match in-process evaluation exactly.
+    assert_eq!(client.query(query).unwrap(), db.query(query).unwrap());
+
+    // Throughput: 8 concurrent clients, a fixed batch of queries each.
+    let per_client = 200usize;
+    let t_total = bench_ns(
+        &format!("throughput_{CLIENTS}x{per_client}"),
+        3,
+        &mut || {
+            let threads: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    std::thread::spawn(move || {
+                        let mut c = Client::connect(addr).unwrap();
+                        let mut n = 0usize;
+                        for _ in 0..per_client {
+                            n += c.query(query).unwrap().len();
+                        }
+                        n
+                    })
+                })
+                .collect();
+            threads
+                .into_iter()
+                .map(|t| t.join().unwrap())
+                .sum::<usize>()
+        },
+    );
+    let reqs = (CLIENTS * per_client) as f64;
+    let rps = reqs / (t_total / 1e9);
+    println!(
+        "| {CLIENTS} clients × {per_client} queries (throughput) | {} ({rps:.0} req/s) |",
+        fmt_ns(t_total)
+    );
+    println!(
+        "\nwire overhead vs in-process: query {:.2}×, floor (ping) {}\n",
+        t_wire / t_inproc,
+        fmt_ns(t_ping)
+    );
+
+    client.shutdown().unwrap();
+    handle.join();
+
+    let path = std::env::var("BENCH_E10_JSON").unwrap_or_else(|_| "BENCH_e10.json".to_string());
     let mut out = String::from("{\n");
     for (i, (config, median)) in json.iter().enumerate() {
         let comma = if i + 1 < json.len() { "," } else { "" };

@@ -46,6 +46,22 @@ impl fmt::Display for Strategy {
     }
 }
 
+impl std::str::FromStr for Strategy {
+    type Err = EngineError;
+
+    /// Accepts exactly the [`fmt::Display`] names (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Ok(Strategy::Auto),
+            "lazy" => Ok(Strategy::Lazy),
+            "hql1" => Ok(Strategy::Hql1),
+            "hql2" => Ok(Strategy::Hql2),
+            "delta" => Ok(Strategy::Delta),
+            other => Err(EngineError::UnknownName(format!("strategy {other}"))),
+        }
+    }
+}
+
 /// An integrity constraint: a query that must evaluate to the empty
 /// relation in every committed state.
 #[derive(Clone, Debug)]
@@ -169,42 +185,7 @@ impl Database {
         let q = self.prepare(src)?;
         let attrs = self.output_attrs(&q)?;
         let rel = self.execute(&q, Strategy::Auto)?;
-        let headers: Vec<String> = attrs
-            .iter()
-            .enumerate()
-            .map(|(i, a)| a.clone().unwrap_or_else(|| format!("#{i}")))
-            .collect();
-        let mut rows: Vec<Vec<String>> = vec![headers];
-        for t in rel.iter() {
-            rows.push(t.fields().iter().map(|v| v.to_string()).collect());
-        }
-        let ncols = rows[0].len();
-        let mut widths = vec![0usize; ncols];
-        for row in &rows {
-            for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-        let mut out = String::new();
-        for (ri, row) in rows.iter().enumerate() {
-            for (i, cell) in row.iter().enumerate() {
-                if i > 0 {
-                    out.push_str("  ");
-                }
-                out.push_str(&format!("{cell:<w$}", w = widths[i]));
-            }
-            out.push('\n');
-            if ri == 0 {
-                for (i, w) in widths.iter().enumerate() {
-                    if i > 0 {
-                        out.push_str("  ");
-                    }
-                    out.push_str(&"-".repeat(*w));
-                }
-                out.push('\n');
-            }
-        }
-        Ok(out)
+        Ok(render_table(&attrs, &rel))
     }
 
     /// Run a query with the default (Auto) strategy.
@@ -299,7 +280,14 @@ impl Database {
     /// rendered for humans.
     pub fn explain(&self, src: &str) -> Result<String, EngineError> {
         let q = self.prepare(src)?;
-        let p = self.plan_query(&q);
+        self.explain_query(&q)
+    }
+
+    /// AST form of [`Database::explain`], for callers that wrap queries
+    /// before planning (e.g. a what-if branch's state expression).
+    pub fn explain_query(&self, q: &Query) -> Result<String, EngineError> {
+        arity_of(q, self.state.catalog())?;
+        let p = self.plan_query(q);
         let mut out = String::new();
         use std::fmt::Write;
         let _ = writeln!(out, "query: {q}");
@@ -384,6 +372,49 @@ impl Default for Database {
     fn default() -> Self {
         Database::new()
     }
+}
+
+/// Render a relation as an aligned text table under the given column
+/// names (None = anonymous, shown as `#i`). [`Database::query_table`]
+/// is the root-state convenience; callers evaluating in a hypothetical
+/// branch can pair [`Database::output_attrs`] with any [`Relation`].
+pub fn render_table(attrs: &[Option<String>], rel: &Relation) -> String {
+    let headers: Vec<String> = attrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| a.clone().unwrap_or_else(|| format!("#{i}")))
+        .collect();
+    let mut rows: Vec<Vec<String>> = vec![headers];
+    for t in rel.iter() {
+        rows.push(t.fields().iter().map(|v| v.to_string()).collect());
+    }
+    let ncols = rows[0].len();
+    let mut widths = vec![0usize; ncols];
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for (ri, row) in rows.iter().enumerate() {
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:<w$}", w = widths[i]));
+        }
+        out.push('\n');
+        if ri == 0 {
+            for (i, w) in widths.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&"-".repeat(*w));
+            }
+            out.push('\n');
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -557,6 +588,24 @@ mod tests {
             .unwrap();
         assert!(s.contains("strategy:"), "{s}");
         assert!(s.contains("candidate"), "{s}");
+    }
+
+    #[test]
+    fn strategy_parses_its_display_names() {
+        for s in [
+            Strategy::Auto,
+            Strategy::Lazy,
+            Strategy::Hql1,
+            Strategy::Hql2,
+            Strategy::Delta,
+        ] {
+            assert_eq!(s.to_string().parse::<Strategy>().unwrap(), s);
+            assert_eq!(s.to_string().to_uppercase().parse::<Strategy>().unwrap(), s);
+        }
+        assert!(matches!(
+            "eager".parse::<Strategy>(),
+            Err(EngineError::UnknownName(_))
+        ));
     }
 
     #[test]

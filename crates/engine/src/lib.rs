@@ -20,7 +20,7 @@ pub mod prepared;
 pub mod savepoint;
 pub mod whatif;
 
-pub use database::{Constraint, Database, Strategy};
+pub use database::{render_table, Constraint, Database, Strategy};
 pub use error::EngineError;
 pub use ext::{state_when, TempTables};
 pub use prepared::PreparedState;

@@ -91,6 +91,53 @@ impl WhatIfTree {
         self.branches.keys().map(String::as_str)
     }
 
+    /// Whether a branch with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.branches.contains_key(name)
+    }
+
+    /// The parent of a branch (`Ok(None)` = rooted at the real state).
+    pub fn parent_of(&self, name: &str) -> Result<Option<&str>, EngineError> {
+        self.branches
+            .get(name)
+            .map(|b| b.parent.as_deref())
+            .ok_or_else(|| EngineError::UnknownName(name.to_string()))
+    }
+
+    /// Remove a branch **and all its descendants** (their hypothetical
+    /// states depend on the dropped update). Returns the removed names in
+    /// name order.
+    pub fn drop_branch(&mut self, name: &str) -> Result<Vec<String>, EngineError> {
+        if !self.branches.contains_key(name) {
+            return Err(EngineError::UnknownName(name.to_string()));
+        }
+        let mut doomed: Vec<String> = vec![name.to_string()];
+        // Fixpoint sweep: a branch is doomed if its parent is. The
+        // BTreeMap has no child index, so repeat until no new names join
+        // (trees are small — dozens of branches, not millions).
+        loop {
+            let before = doomed.len();
+            for (n, b) in &self.branches {
+                if doomed.iter().any(|d| d == n) {
+                    continue;
+                }
+                if let Some(p) = &b.parent {
+                    if doomed.iter().any(|d| d == p) {
+                        doomed.push(n.clone());
+                    }
+                }
+            }
+            if doomed.len() == before {
+                break;
+            }
+        }
+        for n in &doomed {
+            self.branches.remove(n);
+        }
+        doomed.sort();
+        Ok(doomed)
+    }
+
     /// The composed state expression for the path from the root to
     /// `branch`: `{U_root} # … # {U_branch}` (root applied first).
     pub fn state_of(&self, branch: &str) -> Result<StateExpr, EngineError> {
@@ -318,6 +365,41 @@ mod tests {
             tree.query_at(&db, "nope", "inv", Strategy::Auto),
             Err(EngineError::UnknownName(_))
         ));
+    }
+
+    #[test]
+    fn drop_branch_removes_descendants() {
+        let (db, mut tree) = setup();
+        tree.branch(&db, "deep", Some("restock"), "insert into inv (row(5, 50))")
+            .unwrap();
+        assert!(tree.contains("deep"));
+        assert_eq!(tree.parent_of("deep").unwrap(), Some("restock"));
+        assert_eq!(tree.parent_of("base_plan").unwrap(), None);
+        let removed = tree.drop_branch("base_plan").unwrap();
+        assert_eq!(removed, ["base_plan", "clearance", "deep", "restock"]);
+        assert_eq!(tree.branch_names().count(), 0);
+        assert!(matches!(
+            tree.drop_branch("base_plan"),
+            Err(EngineError::UnknownName(_))
+        ));
+        assert!(matches!(
+            tree.parent_of("nope"),
+            Err(EngineError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn drop_leaf_keeps_siblings() {
+        let (db, mut tree) = setup();
+        let removed = tree.drop_branch("restock").unwrap();
+        assert_eq!(removed, ["restock"]);
+        assert!(tree.contains("clearance"));
+        assert_eq!(
+            tree.query_at(&db, "clearance", "inv", Strategy::Auto)
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]

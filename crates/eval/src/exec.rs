@@ -16,17 +16,36 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Number of worker threads to use for scenario fan-out.
 ///
-/// `HYPOQUERY_THREADS` overrides (0 or 1 forces sequential execution);
-/// otherwise the machine's available parallelism.
+/// `HYPOQUERY_THREADS` overrides when set to a positive integer
+/// (`1` forces sequential execution). Anything else — `0`, the empty
+/// string, garbage, or a value over [`MAX_THREAD_OVERRIDE`] — is
+/// rejected and falls back to the machine's available parallelism, so a
+/// typo can neither disable evaluation nor fork-bomb the host.
 pub fn num_workers() -> usize {
-    if let Ok(s) = std::env::var("HYPOQUERY_THREADS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    if let Some(n) = std::env::var("HYPOQUERY_THREADS")
+        .ok()
+        .as_deref()
+        .and_then(thread_override)
+    {
+        return n;
     }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Upper bound accepted from `HYPOQUERY_THREADS`; larger values are
+/// treated as invalid (far beyond any sane core count, small enough that
+/// a stray byte can't request billions of threads).
+pub const MAX_THREAD_OVERRIDE: usize = 1024;
+
+/// Parse a `HYPOQUERY_THREADS` value: `Some(n)` for `1..=MAX_THREAD_OVERRIDE`
+/// (surrounding whitespace tolerated), `None` for everything else.
+fn thread_override(s: &str) -> Option<usize> {
+    match s.trim().parse::<usize>() {
+        Ok(n) if (1..=MAX_THREAD_OVERRIDE).contains(&n) => Some(n),
+        _ => None,
+    }
 }
 
 /// Apply `f` to every item, fanning out across [`num_workers`] threads,
@@ -133,6 +152,26 @@ mod tests {
             }
             x
         });
+    }
+
+    #[test]
+    fn thread_override_accepts_only_positive_integers() {
+        assert_eq!(thread_override("1"), Some(1));
+        assert_eq!(thread_override(" 8 "), Some(8));
+        assert_eq!(thread_override("1024"), Some(MAX_THREAD_OVERRIDE));
+        // Rejected: zero, negatives, garbage, empty, overflow, huge.
+        for bad in [
+            "0",
+            "-4",
+            "four",
+            "",
+            "  ",
+            "8.5",
+            "1025",
+            "99999999999999999999",
+        ] {
+            assert_eq!(thread_override(bad), None, "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! # hypoquery-server
+//!
+//! The network service layer: a line-oriented, length-prefixed wire
+//! protocol ([`proto`]) carrying the HQL surface syntax plus session
+//! verbs, served by a threaded TCP server ([`server`]) in which every
+//! connection owns a copy-on-write snapshot of the base database and a
+//! private tree of what-if branches ([`session`]). An atomic metrics
+//! registry ([`metrics`]) backs the `STATS` verb.
+//!
+//! Ships the `hypoquery-serve` binary; the matching client and
+//! `hypoquery-cli` REPL live in `hypoquery-client`.
+//!
+//! ```no_run
+//! use hypoquery_engine::Database;
+//! use hypoquery_server::{serve, ServerConfig};
+//!
+//! let mut db = Database::new();
+//! db.define_named("inv", ["item", "qty"]).unwrap();
+//! let handle = serve(ServerConfig::default(), db).unwrap();
+//! println!("listening on {}", handle.addr());
+//! handle.join(); // until a client sends SHUTDOWN
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod session;
+
+pub use metrics::{Histogram, Metrics};
+pub use proto::{ErrCode, Reply, Request, Verb, WireError};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use session::{Control, Session};

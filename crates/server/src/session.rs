@@ -1,0 +1,682 @@
+//! Per-connection session state and verb dispatch.
+//!
+//! Every connection owns a **copy-on-write snapshot** of the server's
+//! base [`Database`] (a `clone` is pointer bumps — see PR 1's shared
+//! storage), plus a [`WhatIfTree`] of named what-if branches, a registry
+//! of [`PreparedState`]s, and an evaluation [`Strategy`]. Nothing here is
+//! shared between sessions, so concurrent clients get isolation for free
+//! and no verb ever takes a lock.
+//!
+//! The session's view of the world:
+//!
+//! * `SWITCH <branch>` selects a branch; `QUERY`/`EXPLAIN` then evaluate
+//!   in that branch's hypothetical state (`Q when η_path`).
+//! * `UPDATE` at the root applies a real, constraint-checked update to
+//!   the session snapshot. `UPDATE` *on a branch* stays hypothetical: it
+//!   stacks an auto-named child branch and switches to it, so an analyst
+//!   can keep typing updates and watch a scenario evolve without ever
+//!   touching the base data.
+
+use std::collections::BTreeMap;
+
+use hypoquery_engine::{Database, EngineError, PreparedState, Strategy, WhatIfTree};
+
+use crate::proto::{parse_paren_rows, Reply, Request, Verb, WireError};
+
+/// What the connection loop should do after a reply.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Control {
+    /// Keep serving this connection.
+    Continue,
+    /// Close this connection (`BYE`, fatal framing errors).
+    Close,
+    /// Close this connection and stop the whole server (`SHUTDOWN`).
+    Shutdown,
+}
+
+/// One connection's isolated state.
+pub struct Session {
+    db: Database,
+    tree: WhatIfTree,
+    current: Option<String>,
+    prepared: BTreeMap<String, PreparedState>,
+    strategy: Strategy,
+    anon: usize,
+}
+
+impl Session {
+    /// Start a session over a snapshot of the server's base database.
+    pub fn new(db: Database) -> Session {
+        Session {
+            db,
+            tree: WhatIfTree::new(),
+            current: None,
+            prepared: BTreeMap::new(),
+            strategy: Strategy::Auto,
+            anon: 0,
+        }
+    }
+
+    /// The session's database (tests, in-process fallbacks).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The currently selected branch, if any.
+    pub fn current_branch(&self) -> Option<&str> {
+        self.current.as_deref()
+    }
+
+    /// Dispatch one request. `STATS` is server-scoped and handled by the
+    /// caller; it answers with a protocol error here.
+    pub fn handle(&mut self, req: &Request) -> (Reply, Control) {
+        let reply = match req.verb {
+            Verb::Ping => Ok(Reply::Ok("pong".into())),
+            Verb::Query => self.query(req),
+            Verb::Table => self.table(req),
+            Verb::Update => self.update(req),
+            Verb::Explain => self.explain(req),
+            Verb::Define => self.define(req),
+            Verb::Load => self.load(req),
+            Verb::Constraint => self.constraint(req),
+            Verb::Branch => self.branch(req),
+            Verb::Switch => self.switch(req),
+            Verb::Drop => self.drop_branch(req),
+            Verb::Branches => Ok(self.branches()),
+            Verb::Prepare => self.prepare(req),
+            Verb::Exec => self.exec(req),
+            Verb::Strategy => self.set_strategy(req),
+            Verb::Schema => Ok(self.schema()),
+            Verb::Dump => Ok(Reply::Text(self.db.dump())),
+            Verb::Restore => self.restore(req),
+            Verb::Stats => Err(WireError::proto("STATS is handled by the server")),
+            Verb::Bye => return (Reply::ok(), Control::Close),
+            Verb::Shutdown => return (Reply::ok(), Control::Shutdown),
+        };
+        match reply {
+            Ok(r) => (r, Control::Continue),
+            Err(e) => (Reply::Err(e), Control::Continue),
+        }
+    }
+
+    fn query(&self, req: &Request) -> Result<Reply, WireError> {
+        let src = req.source();
+        let rel = match &self.current {
+            None => self.db.query_with(&src, self.strategy),
+            Some(b) => self.tree.query_at(&self.db, b, &src, self.strategy),
+        }
+        .map_err(|e| WireError::from_engine(&e))?;
+        Ok(Reply::Rows(rel))
+    }
+
+    fn table(&self, req: &Request) -> Result<Reply, WireError> {
+        let src = req.source();
+        let text = match &self.current {
+            None => self.db.query_table(&src),
+            Some(b) => self.db.prepare(&src).and_then(|q| {
+                // Headers come from the surface query; rows from the
+                // branch's hypothetical state.
+                let attrs = self.db.output_attrs(&q)?;
+                let rel = self.tree.query_at(&self.db, b, &src, self.strategy)?;
+                Ok(hypoquery_engine::render_table(&attrs, &rel))
+            }),
+        }
+        .map_err(|e| WireError::from_engine(&e))?;
+        Ok(Reply::Text(text.trim_end().to_string()))
+    }
+
+    fn update(&mut self, req: &Request) -> Result<Reply, WireError> {
+        let src = req.source();
+        match self.current.clone() {
+            None => {
+                self.db
+                    .execute_update(&src)
+                    .map_err(|e| WireError::from_engine(&e))?;
+                // Real state moved: prepared materializations are stale.
+                for p in self.prepared.values_mut() {
+                    p.invalidate();
+                }
+                Ok(Reply::ok())
+            }
+            Some(cur) => {
+                // Hypothetical: stack an auto-named child branch.
+                let name = loop {
+                    self.anon += 1;
+                    let cand = format!("{cur}+{}", self.anon);
+                    if !self.tree.contains(&cand) {
+                        break cand;
+                    }
+                };
+                self.tree
+                    .branch(&self.db, &name, Some(&cur), &src)
+                    .map_err(|e| WireError::from_engine(&e))?;
+                self.current = Some(name.clone());
+                Ok(Reply::Ok(format!("branch {name}")))
+            }
+        }
+    }
+
+    fn explain(&self, req: &Request) -> Result<Reply, WireError> {
+        let src = req.source();
+        let text = match &self.current {
+            None => self.db.explain(&src),
+            Some(b) => self
+                .db
+                .prepare(&src)
+                .and_then(|q| self.tree.at(b, &q))
+                .and_then(|wrapped| self.db.explain_query(&wrapped)),
+        }
+        .map_err(|e| WireError::from_engine(&e))?;
+        Ok(Reply::Text(text))
+    }
+
+    fn define(&mut self, req: &Request) -> Result<Reply, WireError> {
+        let (name, spec) = req
+            .args
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| WireError::proto("usage: DEFINE <name> <arity | attr,attr,...>"))?;
+        let (name, spec) = (name.trim(), spec.trim());
+        if let Ok(arity) = spec.parse::<usize>() {
+            self.db.define(name, arity)
+        } else {
+            self.db.define_named(name, spec.split(',').map(str::trim))
+        }
+        .map_err(|e| WireError::from_engine(&e))?;
+        Ok(Reply::ok())
+    }
+
+    fn load(&mut self, req: &Request) -> Result<Reply, WireError> {
+        let (name, inline) = match req.args.split_once(char::is_whitespace) {
+            Some((n, rest)) => (n.trim(), rest.trim()),
+            None => (req.args.trim(), ""),
+        };
+        if name.is_empty() {
+            return Err(WireError::proto("usage: LOAD <name> [(v, ...) ...]"));
+        }
+        // Rows arrive inline in paren syntax and/or as dump-format body
+        // lines (the client's bulk path).
+        let mut rows = parse_paren_rows(inline)?;
+        for (i, line) in req.body.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            rows.push(
+                hypoquery_storage::decode_tuple(line, i + 1)
+                    .map_err(|e| WireError::proto(e.to_string()))?,
+            );
+        }
+        let n = rows.len();
+        self.db
+            .load(name, rows)
+            .map_err(|e| WireError::from_engine(&e))?;
+        Ok(Reply::Ok(format!("loaded {n}")))
+    }
+
+    fn constraint(&mut self, req: &Request) -> Result<Reply, WireError> {
+        // `CONSTRAINT <name>` with the violation query in the args tail
+        // or the body.
+        let (name, rest) = match req.args.split_once(char::is_whitespace) {
+            Some((n, r)) => (n.trim(), r.trim().to_string()),
+            None => (req.args.trim(), String::new()),
+        };
+        let src = if req.body.trim().is_empty() {
+            rest
+        } else if rest.is_empty() {
+            req.body.trim().to_string()
+        } else {
+            format!("{rest}\n{}", req.body.trim())
+        };
+        if name.is_empty() || src.is_empty() {
+            return Err(WireError::proto(
+                "usage: CONSTRAINT <name> <violation query>",
+            ));
+        }
+        self.db
+            .add_constraint(name, &src)
+            .map_err(|e| WireError::from_engine(&e))?;
+        Ok(Reply::ok())
+    }
+
+    fn branch(&mut self, req: &Request) -> Result<Reply, WireError> {
+        // `BRANCH <name> [FROM <parent>]`, update source in the body.
+        let mut parts = req.args.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or_else(|| WireError::proto("usage: BRANCH <name> [FROM <parent>] + body"))?;
+        let parent = match (parts.next().map(str::to_ascii_uppercase), parts.next()) {
+            (None, _) => self.current.clone(),
+            (Some(kw), Some(p)) if kw == "FROM" => Some(p.to_string()),
+            _ => {
+                return Err(WireError::proto(
+                    "usage: BRANCH <name> [FROM <parent>] + body",
+                ))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(WireError::proto(
+                "usage: BRANCH <name> [FROM <parent>] + body",
+            ));
+        }
+        if req.body.trim().is_empty() {
+            return Err(WireError::proto("BRANCH needs an update in the body"));
+        }
+        self.tree
+            .branch(&self.db, name, parent.as_deref(), req.body.trim())
+            .map_err(|e| WireError::from_engine(&e))?;
+        Ok(Reply::ok())
+    }
+
+    fn switch(&mut self, req: &Request) -> Result<Reply, WireError> {
+        let target = req.args.trim();
+        if target.is_empty() {
+            return Err(WireError::proto("usage: SWITCH <branch | ->"));
+        }
+        if target == "-" || target.eq_ignore_ascii_case("root") {
+            self.current = None;
+            return Ok(Reply::Ok("at root".into()));
+        }
+        if !self.tree.contains(target) {
+            return Err(WireError::from_engine(&EngineError::UnknownName(
+                target.to_string(),
+            )));
+        }
+        self.current = Some(target.to_string());
+        Ok(Reply::Ok(format!("at {target}")))
+    }
+
+    fn drop_branch(&mut self, req: &Request) -> Result<Reply, WireError> {
+        let name = req.args.trim();
+        if name.is_empty() {
+            return Err(WireError::proto("usage: DROP <branch>"));
+        }
+        let removed = self
+            .tree
+            .drop_branch(name)
+            .map_err(|e| WireError::from_engine(&e))?;
+        if let Some(cur) = &self.current {
+            if removed.contains(cur) {
+                self.current = None;
+            }
+        }
+        Ok(Reply::Ok(format!("dropped {}", removed.len())))
+    }
+
+    fn branches(&self) -> Reply {
+        let mut out = String::new();
+        for name in self.tree.branch_names() {
+            let marker = if self.current.as_deref() == Some(name) {
+                '*'
+            } else {
+                ' '
+            };
+            let parent = self.tree.parent_of(name).ok().flatten().unwrap_or("-");
+            out.push_str(&format!("{marker}{name}\t{parent}\n"));
+        }
+        Reply::Text(out.trim_end().to_string())
+    }
+
+    fn prepare(&mut self, req: &Request) -> Result<Reply, WireError> {
+        let name = req.args.trim();
+        if name.is_empty() || req.body.trim().is_empty() {
+            return Err(WireError::proto(
+                "usage: PREPARE <name> + state expression body",
+            ));
+        }
+        if self.prepared.contains_key(name) {
+            return Err(WireError::from_engine(&EngineError::DuplicateName(
+                name.to_string(),
+            )));
+        }
+        let mut p = PreparedState::parse(&self.db, req.body.trim())
+            .map_err(|e| WireError::from_engine(&e))?;
+        // Eager by default: Example 2.2's repeated-family use is the
+        // whole point of PREPARE.
+        p.materialize(&self.db)
+            .map_err(|e| WireError::from_engine(&e))?;
+        self.prepared.insert(name.to_string(), p);
+        Ok(Reply::ok())
+    }
+
+    fn exec(&mut self, req: &Request) -> Result<Reply, WireError> {
+        let (name, rest) = match req.args.split_once(char::is_whitespace) {
+            Some((n, r)) => (n.trim(), r.trim().to_string()),
+            None => (req.args.trim(), String::new()),
+        };
+        if name.is_empty() {
+            return Err(WireError::proto("usage: EXEC <name> <query>"));
+        }
+        let src = if req.body.trim().is_empty() {
+            rest
+        } else if rest.is_empty() {
+            req.body.trim().to_string()
+        } else {
+            format!("{rest}\n{}", req.body.trim())
+        };
+        if src.is_empty() {
+            return Err(WireError::proto("usage: EXEC <name> <query>"));
+        }
+        let p = self
+            .prepared
+            .get(name)
+            .ok_or_else(|| WireError::from_engine(&EngineError::UnknownName(name.to_string())))?;
+        let rel = p
+            .query_src(&self.db, &src)
+            .map_err(|e| WireError::from_engine(&e))?;
+        Ok(Reply::Rows(rel))
+    }
+
+    fn set_strategy(&mut self, req: &Request) -> Result<Reply, WireError> {
+        let s: Strategy = req
+            .args
+            .parse()
+            .map_err(|e: EngineError| WireError::from_engine(&e))?;
+        self.strategy = s;
+        Ok(Reply::Ok(format!("strategy {s}")))
+    }
+
+    fn restore(&mut self, req: &Request) -> Result<Reply, WireError> {
+        if req.body.trim().is_empty() {
+            return Err(WireError::proto("usage: RESTORE + dump body"));
+        }
+        let db = Database::restore(&req.body).map_err(|e| WireError::from_engine(&e))?;
+        // Branches and prepared states reference the old catalog.
+        self.db = db;
+        self.tree = WhatIfTree::new();
+        self.current = None;
+        self.prepared.clear();
+        Ok(Reply::ok())
+    }
+
+    fn schema(&self) -> Reply {
+        let mut out = String::new();
+        for (name, schema) in self.db.catalog().iter() {
+            out.push_str(name.as_str());
+            out.push('/');
+            out.push_str(&schema.arity.to_string());
+            if let Some(attrs) = &schema.attrs {
+                out.push(' ');
+                out.push_str(&attrs.join(","));
+            }
+            out.push('\n');
+        }
+        Reply::Text(out.trim_end().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ErrCode;
+    use hypoquery_storage::tuple;
+
+    fn req(line: &str, body: &str) -> Request {
+        let mut payload = line.to_string();
+        if !body.is_empty() {
+            payload.push('\n');
+            payload.push_str(body);
+        }
+        Request::decode(payload.as_bytes()).unwrap()
+    }
+
+    fn ok(s: &mut Session, line: &str, body: &str) -> Reply {
+        let (reply, ctl) = s.handle(&req(line, body));
+        assert_eq!(ctl, Control::Continue, "{line}");
+        if let Reply::Err(e) = &reply {
+            panic!("{line}: unexpected error {e}");
+        }
+        reply
+    }
+
+    fn err(s: &mut Session, line: &str, body: &str) -> WireError {
+        match s.handle(&req(line, body)) {
+            (Reply::Err(e), Control::Continue) => e,
+            other => panic!("{line}: expected error, got {other:?}"),
+        }
+    }
+
+    fn rows(r: Reply) -> usize {
+        match r {
+            Reply::Rows(rel) => rel.len(),
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    fn session() -> Session {
+        let mut s = Session::new(Database::new());
+        ok(&mut s, "DEFINE inv item,qty", "");
+        ok(&mut s, "LOAD inv (1, 10) (2, 20) (3, 30)", "");
+        s
+    }
+
+    #[test]
+    fn define_load_query_update() {
+        let mut s = session();
+        assert_eq!(rows(ok(&mut s, "QUERY select qty >= 20 (inv)", "")), 2);
+        ok(&mut s, "UPDATE insert into inv (row(4, 40))", "");
+        assert_eq!(rows(ok(&mut s, "QUERY inv", "")), 4);
+        // Body-borne rows (the client's bulk path).
+        ok(&mut s, "LOAD inv", "5\t50\n6\t60");
+        assert_eq!(rows(ok(&mut s, "QUERY inv", "")), 6);
+    }
+
+    #[test]
+    fn branch_switch_query_drop() {
+        let mut s = session();
+        ok(
+            &mut s,
+            "BRANCH cut",
+            "delete from inv (select qty < 15 (inv))",
+        );
+        ok(
+            &mut s,
+            "BRANCH restock FROM cut",
+            "insert into inv (row(4, 40))",
+        );
+        assert_eq!(rows(ok(&mut s, "QUERY inv", "")), 3); // root untouched
+        ok(&mut s, "SWITCH restock", "");
+        assert_eq!(rows(ok(&mut s, "QUERY inv", "")), 3); // -1 +1
+                                                          // Hypothetical UPDATE stacks a child branch.
+        let note = match ok(&mut s, "UPDATE delete from inv (select qty > 35 (inv))", "") {
+            Reply::Ok(n) => n,
+            other => panic!("{other:?}"),
+        };
+        assert!(note.starts_with("branch restock+"), "{note}");
+        assert_eq!(rows(ok(&mut s, "QUERY inv", "")), 2);
+        // BRANCH with no FROM parents at the *current* branch.
+        ok(&mut s, "BRANCH deeper", "insert into inv (row(9, 90))");
+        ok(&mut s, "SWITCH deeper", "");
+        assert_eq!(rows(ok(&mut s, "QUERY inv", "")), 3);
+        // Root data never moved.
+        ok(&mut s, "SWITCH -", "");
+        assert_eq!(rows(ok(&mut s, "QUERY inv", "")), 3);
+        // Dropping `cut` takes the whole subtree with it.
+        let note = match ok(&mut s, "DROP cut", "") {
+            Reply::Ok(n) => n,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(note, "dropped 4");
+        assert_eq!(err(&mut s, "SWITCH restock", "").code, ErrCode::Unknown);
+    }
+
+    #[test]
+    fn dropping_current_branch_resets_to_root() {
+        let mut s = session();
+        ok(&mut s, "BRANCH b", "insert into inv (row(4, 40))");
+        ok(&mut s, "SWITCH b", "");
+        ok(&mut s, "DROP b", "");
+        assert_eq!(s.current_branch(), None);
+        assert_eq!(rows(ok(&mut s, "QUERY inv", "")), 3);
+    }
+
+    #[test]
+    fn branches_listing_marks_current() {
+        let mut s = session();
+        ok(&mut s, "BRANCH a", "insert into inv (row(4, 40))");
+        ok(&mut s, "BRANCH b FROM a", "insert into inv (row(5, 50))");
+        ok(&mut s, "SWITCH b", "");
+        let text = match ok(&mut s, "BRANCHES", "") {
+            Reply::Text(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(text, " a\t-\n*b\ta");
+    }
+
+    #[test]
+    fn prepare_exec_family() {
+        let mut s = session();
+        ok(
+            &mut s,
+            "PREPARE plan",
+            "{delete from inv (select qty < 15 (inv))}",
+        );
+        assert_eq!(rows(ok(&mut s, "EXEC plan inv", "")), 2);
+        // Matches the equivalent WHEN query.
+        assert_eq!(
+            rows(ok(
+                &mut s,
+                "QUERY inv when {delete from inv (select qty < 15 (inv))}",
+                ""
+            )),
+            2
+        );
+        assert_eq!(
+            err(&mut s, "PREPARE plan", "{insert into inv (row(7, 7))}").code,
+            ErrCode::Duplicate
+        );
+        assert_eq!(err(&mut s, "EXEC nosuch inv", "").code, ErrCode::Unknown);
+        // A real update invalidates the materialization but EXEC still
+        // answers (lazily) against fresh data.
+        ok(&mut s, "UPDATE insert into inv (row(4, 5))", "");
+        assert_eq!(rows(ok(&mut s, "EXEC plan inv", "")), 2); // 5 < 15 deleted
+    }
+
+    #[test]
+    fn explain_works_on_branches_too() {
+        let mut s = session();
+        let t = match ok(&mut s, "EXPLAIN inv when {delete from inv (inv)}", "") {
+            Reply::Text(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(t.contains("strategy:"), "{t}");
+        ok(
+            &mut s,
+            "BRANCH b",
+            "delete from inv (select qty > 15 (inv))",
+        );
+        ok(&mut s, "SWITCH b", "");
+        let t = match ok(&mut s, "EXPLAIN inv", "") {
+            Reply::Text(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(t.contains("when"), "{t}");
+    }
+
+    #[test]
+    fn strategy_schema_dump_ping() {
+        let mut s = session();
+        ok(&mut s, "STRATEGY lazy", "");
+        assert_eq!(rows(ok(&mut s, "QUERY inv", "")), 3);
+        assert_eq!(err(&mut s, "STRATEGY eager", "").code, ErrCode::Unknown);
+        let t = match ok(&mut s, "SCHEMA", "") {
+            Reply::Text(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(t, "inv/2 item,qty");
+        let d = match ok(&mut s, "DUMP", "") {
+            Reply::Text(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(d.contains("relation inv 2 item,qty"), "{d}");
+        assert!(matches!(ok(&mut s, "PING", ""), Reply::Ok(n) if n == "pong"));
+    }
+
+    #[test]
+    fn engine_errors_become_structured_replies() {
+        let mut s = session();
+        assert_eq!(err(&mut s, "QUERY select (", "").code, ErrCode::Parse);
+        assert_eq!(
+            err(&mut s, "QUERY inv union nosuch", "").code,
+            ErrCode::Type
+        );
+        assert_eq!(err(&mut s, "DEFINE inv 2", "").code, ErrCode::Storage);
+        assert_eq!(
+            err(&mut s, "BRANCH x FROM nope", "insert into inv (row(1, 1))").code,
+            ErrCode::Unknown
+        );
+        assert_eq!(
+            err(&mut s, "LOAD inv (bad literal)", "").code,
+            ErrCode::Proto
+        );
+        assert_eq!(err(&mut s, "BRANCH", "").code, ErrCode::Proto);
+        assert_eq!(err(&mut s, "STATS", "").code, ErrCode::Proto);
+    }
+
+    #[test]
+    fn table_constraint_restore() {
+        let mut s = session();
+        let t = match ok(&mut s, "TABLE select qty >= 20 (inv)", "") {
+            Reply::Text(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(t.starts_with("item  qty"), "{t}");
+        assert!(t.contains("3     30"), "{t}");
+        // TABLE follows the current branch.
+        ok(&mut s, "BRANCH b", "delete from inv (inv)");
+        ok(&mut s, "SWITCH b", "");
+        let t = match ok(&mut s, "TABLE inv", "") {
+            Reply::Text(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(t.lines().count(), 2, "{t}"); // header + rule only
+        ok(&mut s, "SWITCH -", "");
+        // Constraints guard real updates from then on.
+        ok(&mut s, "CONSTRAINT no_neg select qty < 0 (inv)", "");
+        let e = err(&mut s, "UPDATE insert into inv (row(9, -1))", "");
+        assert_eq!(e.code, ErrCode::Constraint, "{e}");
+        assert_eq!(
+            err(&mut s, "CONSTRAINT no_neg inv", "").code,
+            ErrCode::Duplicate
+        );
+        // RESTORE swaps the whole database and clears branch state.
+        let dump = match ok(&mut s, "DUMP", "") {
+            Reply::Text(t) => t,
+            other => panic!("{other:?}"),
+        };
+        ok(&mut s, "UPDATE delete from inv (inv)", "");
+        ok(&mut s, "BRANCH stale", "insert into inv (row(8, 80))");
+        ok(&mut s, "RESTORE", &dump);
+        assert_eq!(rows(ok(&mut s, "QUERY inv", "")), 3);
+        assert_eq!(err(&mut s, "SWITCH stale", "").code, ErrCode::Unknown);
+        assert_eq!(err(&mut s, "RESTORE", "").code, ErrCode::Proto);
+    }
+
+    #[test]
+    fn bye_and_shutdown_control_flow() {
+        let mut s = session();
+        assert_eq!(s.handle(&req("BYE", "")).1, Control::Close);
+        assert_eq!(s.handle(&req("SHUTDOWN", "")).1, Control::Shutdown);
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let base = {
+            let mut s = session();
+            ok(&mut s, "QUERY inv", "");
+            s.db
+        };
+        let mut a = Session::new(base.clone());
+        let mut b = Session::new(base.clone());
+        ok(&mut a, "UPDATE insert into inv (row(100, 1))", "");
+        ok(&mut b, "UPDATE delete from inv (inv)", "");
+        assert_eq!(rows(ok(&mut a, "QUERY inv", "")), 4);
+        assert_eq!(rows(ok(&mut b, "QUERY inv", "")), 0);
+        assert_eq!(base.query("inv").unwrap().len(), 3);
+        assert_eq!(
+            base.query("inv").unwrap(),
+            Relation::from_rows(2, [tuple![1, 10], tuple![2, 20], tuple![3, 30]].into_iter())
+                .unwrap()
+        );
+    }
+
+    use hypoquery_storage::Relation;
+}

@@ -1,0 +1,337 @@
+//! Loopback integration tests: a real server on `127.0.0.1:0`, real
+//! `hypoquery_client::Client`s, and adversarial raw sockets.
+//!
+//! Covers the acceptance bar for the service layer: ≥8 concurrent
+//! clients whose branch results match in-process [`WhatIfTree`]
+//! evaluation exactly; `STATS` counters that reconcile with the requests
+//! actually sent; malformed / oversized / stalled requests answered (or
+//! hung up on) within the configured timeout; graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use hypoquery_client::Client;
+use hypoquery_engine::{Database, Strategy, WhatIfTree};
+use hypoquery_server::proto::{read_frame, write_frame, ErrCode, FrameError, Reply, HELLO_PREFIX};
+use hypoquery_server::{serve, ServerConfig, ServerHandle};
+use hypoquery_storage::tuple;
+
+fn base_db() -> Database {
+    let mut db = Database::new();
+    db.define_named("inv", ["item", "qty"]).unwrap();
+    db.load(
+        "inv",
+        (1..=8).map(|i| tuple![i, 10 * i]).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    db
+}
+
+fn start(config: ServerConfig) -> ServerHandle {
+    let mut config = config;
+    config.addr = "127.0.0.1:0".into();
+    serve(config, base_db()).unwrap()
+}
+
+fn quick_config() -> ServerConfig {
+    ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        write_timeout: Duration::from_millis(500),
+        idle_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    }
+}
+
+/// Read the greeting frame off a raw socket.
+fn eat_hello(stream: &mut TcpStream) {
+    let hello = read_frame(stream, u32::MAX).unwrap().unwrap();
+    assert!(String::from_utf8_lossy(&hello).starts_with(HELLO_PREFIX));
+}
+
+fn reply_of(stream: &mut TcpStream) -> Reply {
+    let payload = read_frame(stream, u32::MAX).unwrap().unwrap();
+    Reply::decode(&payload).unwrap()
+}
+
+#[test]
+fn concurrent_clients_match_in_process_whatif_evaluation() {
+    const CLIENTS: usize = 8;
+    let handle = start(ServerConfig {
+        workers: CLIENTS, // every client gets a live worker at once
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Exercise every strategy across the fleet.
+    let strategies = [
+        Strategy::Auto,
+        Strategy::Lazy,
+        Strategy::Hql1,
+        Strategy::Hql2,
+        Strategy::Delta,
+    ];
+
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let cutoff = 15 + 10 * (c as i64 % 4); // 15/25/35/45
+                let strategy = strategies[c % strategies.len()];
+                let cut = format!("delete from inv (select qty < {cutoff} (inv))");
+                let restock = format!("insert into inv (row({}, {}))", 100 + c, 5 * c + 1);
+
+                let mut client = Client::connect(addr).unwrap();
+                client.strategy(&strategy.to_string()).unwrap();
+                client.branch("cut", None, &cut).unwrap();
+                client.branch("restock", Some("cut"), &restock).unwrap();
+                client.switch(Some("restock")).unwrap();
+                let on_branch = client.query("inv").unwrap();
+                let summed = client.query("aggregate [; count, sum qty] (inv)").unwrap();
+                client.switch(None).unwrap();
+                let at_root = client.query("inv").unwrap();
+                client.bye().unwrap();
+
+                // The oracle: the same branch tree evaluated in-process
+                // on a CoW snapshot of the same base.
+                let db = base_db();
+                let mut tree = WhatIfTree::new();
+                tree.branch(&db, "cut", None, &cut).unwrap();
+                tree.branch(&db, "restock", Some("cut"), &restock).unwrap();
+                let want_branch = tree.query_at(&db, "restock", "inv", strategy).unwrap();
+                let want_summed = tree
+                    .query_at(
+                        &db,
+                        "restock",
+                        "aggregate [; count, sum qty] (inv)",
+                        strategy,
+                    )
+                    .unwrap();
+                assert_eq!(on_branch, want_branch, "client {c} ({strategy})");
+                assert_eq!(summed, want_summed, "client {c} ({strategy})");
+                assert_eq!(at_root, db.query("inv").unwrap(), "client {c} root");
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Base data on the server never moved, and every session was seen.
+    let m = handle.metrics();
+    assert_eq!(
+        m.connections.load(std::sync::atomic::Ordering::Relaxed),
+        CLIENTS as u64
+    );
+    assert_eq!(m.errors.load(std::sync::atomic::Ordering::Relaxed), 0);
+    let mut probe = Client::connect(addr).unwrap();
+    assert_eq!(probe.query("inv").unwrap().len(), 8);
+
+    probe.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn stats_reconcile_with_request_count() {
+    // Workers cap concurrent sessions; we hold three connections open.
+    let handle = start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Sequential traffic so the expected totals are exact.
+    let mut clients: Vec<Client> = (0..3).map(|_| Client::connect(addr).unwrap()).collect();
+    for c in clients.iter_mut() {
+        c.ping().unwrap();
+        c.query("inv").unwrap();
+        c.query("select qty >= 20 (inv)").unwrap();
+    }
+    // One error, deliberately.
+    assert!(clients[0].query("select (").is_err());
+
+    // 3×3 fine requests + 1 error = 10 before this STATS (the render
+    // happens before the STATS request itself is recorded).
+    let stats = clients[0].stats_map().unwrap();
+    assert_eq!(stats["server.requests"], 10);
+    assert_eq!(stats["server.errors"], 1);
+    assert_eq!(stats["server.connections"], 3);
+    assert_eq!(stats["verb.PING.count"], 3);
+    assert_eq!(stats["verb.QUERY.count"], 7);
+    assert_eq!(stats["verb.QUERY.errors"], 1);
+    assert!(stats["server.bytes_in"] > 0);
+    assert!(stats["server.bytes_out"] > 0);
+    assert!(stats.contains_key("verb.QUERY.p50_us"), "{stats:?}");
+    assert!(stats.contains_key("verb.QUERY.p99_us"), "{stats:?}");
+
+    // The live registry agrees (now including the STATS request).
+    let m = handle.metrics();
+    assert_eq!(m.requests.load(std::sync::atomic::Ordering::Relaxed), 11);
+    assert_eq!(
+        m.verb(hypoquery_server::Verb::Stats)
+            .count
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    let c = clients.pop().unwrap();
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn malformed_requests_answer_and_keep_the_connection() {
+    let handle = start(quick_config());
+    let addr = handle.addr();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    eat_hello(&mut s);
+
+    // Unknown verb.
+    write_frame(&mut s, b"BOGUS do things").unwrap();
+    match reply_of(&mut s) {
+        Reply::Err(e) => assert_eq!(e.code, ErrCode::Proto, "{e}"),
+        other => panic!("{other:?}"),
+    }
+    // Not UTF-8.
+    write_frame(&mut s, &[0xff, 0xfe, 0x00]).unwrap();
+    match reply_of(&mut s) {
+        Reply::Err(e) => assert_eq!(e.code, ErrCode::Proto, "{e}"),
+        other => panic!("{other:?}"),
+    }
+    // Empty payload.
+    write_frame(&mut s, b"").unwrap();
+    match reply_of(&mut s) {
+        Reply::Err(e) => assert_eq!(e.code, ErrCode::Proto, "{e}"),
+        other => panic!("{other:?}"),
+    }
+    // ... and the connection still works.
+    write_frame(&mut s, b"PING").unwrap();
+    assert!(matches!(reply_of(&mut s), Reply::Ok(n) if n == "pong"));
+
+    let m = handle.metrics();
+    assert_eq!(m.errors.load(std::sync::atomic::Ordering::Relaxed), 3);
+    drop(s);
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn oversized_request_is_refused_and_connection_closed() {
+    let handle = start(ServerConfig {
+        max_request_bytes: 256,
+        ..quick_config()
+    });
+    let addr = handle.addr();
+
+    // The well-behaved client refuses to send it at all (it saw the
+    // advertised limit in the greeting).
+    let mut polite = Client::connect(addr).unwrap();
+    assert_eq!(polite.server_max_request_bytes(), 256);
+    let huge = format!("QUERY {}", "x".repeat(1024));
+    let err = polite.raw_line(&huge).unwrap_err();
+    assert_eq!(err.code(), Some(ErrCode::TooLarge), "{err}");
+
+    // A rude client gets told and hung up on — without the server ever
+    // reading the kilobyte.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    eat_hello(&mut s);
+    s.write_all(&(1024u32).to_be_bytes()).unwrap();
+    s.write_all(&[b'x'; 1024]).unwrap();
+    match reply_of(&mut s) {
+        Reply::Err(e) => {
+            assert_eq!(e.code, ErrCode::TooLarge, "{e}");
+            assert!(e.message.contains("256"), "{e}");
+        }
+        other => panic!("{other:?}"),
+    }
+    // Closed: the next read sees EOF (or, if the kernel raced the
+    // server's payload drain, a reset — either way the connection is
+    // gone).
+    match read_frame(&mut s, u32::MAX) {
+        Ok(None) => {}
+        Err(FrameError::Io(e)) if e.kind() == std::io::ErrorKind::ConnectionReset => {}
+        other => panic!("expected closed connection, got {other:?}"),
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn stalled_request_times_out_within_the_configured_window() {
+    let config = quick_config(); // 200 ms read timeout
+    let read_timeout = config.read_timeout;
+    let handle = start(config);
+    let addr = handle.addr();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    eat_hello(&mut s);
+
+    // Claim 100 bytes, send 5, then stall.
+    s.write_all(&(100u32).to_be_bytes()).unwrap();
+    s.write_all(b"QUERY").unwrap();
+    let started = Instant::now();
+    match reply_of(&mut s) {
+        Reply::Err(e) => assert_eq!(e.code, ErrCode::Timeout, "{e}"),
+        other => panic!("{other:?}"),
+    }
+    let waited = started.elapsed();
+    assert!(
+        waited >= read_timeout && waited < read_timeout + Duration::from_secs(2),
+        "timed out after {waited:?} (configured {read_timeout:?})"
+    );
+    // And the connection is gone.
+    let mut rest = Vec::new();
+    assert_eq!(s.read_to_end(&mut rest).unwrap(), 0);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn idle_connection_is_hung_up_after_idle_timeout() {
+    let handle = start(ServerConfig {
+        read_timeout: Duration::from_millis(50),
+        idle_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    eat_hello(&mut s);
+    // Stay silent past the idle window: the server hangs up (EOF), no
+    // error frame owed.
+    let mut rest = Vec::new();
+    assert_eq!(s.read_to_end(&mut rest).unwrap(), 0);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn shutdown_verb_stops_the_server_gracefully() {
+    let handle = start(quick_config());
+    let addr = handle.addr();
+
+    let mut c1 = Client::connect(addr).unwrap();
+    c1.query("inv").unwrap();
+    let c2 = Client::connect(addr).unwrap();
+    c2.shutdown().unwrap();
+
+    assert!(handle.is_shutting_down());
+    handle.join(); // all threads exit; would hang the test otherwise
+
+    // New connections are refused (or accepted-and-dropped, never served).
+    match TcpStream::connect(addr) {
+        Err(_) => {}
+        Ok(mut s) => {
+            s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let mut buf = Vec::new();
+            assert_eq!(s.read_to_end(&mut buf).unwrap_or(0), 0, "{buf:?}");
+        }
+    }
+}

@@ -102,6 +102,35 @@ fn decode_value(field: &str, line: usize) -> Result<Value, DumpError> {
     })
 }
 
+/// Encode one tuple as a dump/wire row line: tab-separated values (bare
+/// integers, `true`/`false`, double-quoted escaped strings), or the
+/// literal `()` for the 0-ary tuple. The inverse of [`decode_tuple`].
+pub fn encode_tuple(t: &Tuple) -> String {
+    if t.arity() == 0 {
+        return "()".to_string();
+    }
+    let mut row = String::new();
+    for (i, v) in t.fields().iter().enumerate() {
+        if i > 0 {
+            row.push('\t');
+        }
+        encode_value(v, &mut row);
+    }
+    row
+}
+
+/// Decode a row line produced by [`encode_tuple`]. `line_no` only labels
+/// errors (pass 0 when there is no meaningful line number).
+pub fn decode_tuple(line: &str, line_no: usize) -> Result<Tuple, DumpError> {
+    let line = line.trim_end();
+    if line == "()" {
+        return Ok(Tuple::empty());
+    }
+    let values: Result<Vec<Value>, DumpError> =
+        line.split('\t').map(|f| decode_value(f, line_no)).collect();
+    Ok(Tuple::new(values?))
+}
+
 /// Serialize a state (catalog + data) to the text format.
 pub fn dump_state(db: &DatabaseState) -> String {
     let mut out = String::from("# hypoquery dump v1\n");
@@ -117,20 +146,9 @@ pub fn dump_state(db: &DatabaseState) -> String {
         out.push('\n');
         if let Ok(rel) = db.get(name) {
             for t in rel.iter() {
-                if t.arity() == 0 {
-                    // The 0-ary tuple would otherwise dump as a blank
-                    // line, which the loader skips.
-                    out.push_str("()\n");
-                    continue;
-                }
-                let mut row = String::new();
-                for (i, v) in t.fields().iter().enumerate() {
-                    if i > 0 {
-                        row.push('\t');
-                    }
-                    encode_value(v, &mut row);
-                }
-                out.push_str(&row);
+                // Note the 0-ary tuple encodes as `()`, not a blank line
+                // (which the loader skips).
+                out.push_str(&encode_tuple(t));
                 out.push('\n');
             }
         }
@@ -195,34 +213,17 @@ pub fn load_state(src: &str) -> Result<DatabaseState, DumpError> {
             line: line_no,
             message: "row before any relation header".into(),
         })?;
-        if arity == 0 {
-            if line != "()" {
-                return Err(DumpError {
-                    line: line_no,
-                    message: format!("expected the 0-ary row `()`, found {line:?}"),
-                });
-            }
-            db.insert_row(name.as_str(), Tuple::empty())
-                .map_err(|e| DumpError {
-                    line: line_no,
-                    message: e.to_string(),
-                })?;
-            continue;
-        }
-        let fields: Vec<&str> = line.split('\t').collect();
-        if fields.len() != arity {
+        let t = decode_tuple(line, line_no)?;
+        if t.arity() != arity {
             return Err(DumpError {
                 line: line_no,
-                message: format!("expected {arity} fields, found {}", fields.len()),
+                message: format!("expected {arity} fields, found {}", t.arity()),
             });
         }
-        let values: Result<Vec<Value>, DumpError> =
-            fields.iter().map(|f| decode_value(f, line_no)).collect();
-        db.insert_row(name.as_str(), Tuple::new(values?))
-            .map_err(|e| DumpError {
-                line: line_no,
-                message: e.to_string(),
-            })?;
+        db.insert_row(name.as_str(), t).map_err(|e| DumpError {
+            line: line_no,
+            message: e.to_string(),
+        })?;
     }
     Ok(db)
 }
@@ -288,6 +289,21 @@ mod tests {
 
         let e = load_state("relation R 1\nwhat\n").unwrap_err();
         assert!(e.message.contains("unparseable"));
+    }
+
+    #[test]
+    fn tuple_codec_roundtrips() {
+        for t in [
+            Tuple::empty(),
+            tuple![1, -2, 3],
+            tuple!["plain", "tab\there", "quote\"backslash\\", "nl\nend"],
+            tuple![true, false, 0],
+        ] {
+            let line = encode_tuple(&t);
+            assert!(!line.contains('\n'), "{line:?}");
+            assert_eq!(decode_tuple(&line, 7).unwrap(), t, "{line:?}");
+        }
+        assert_eq!(decode_tuple("nope", 7).unwrap_err().line, 7);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod value;
 
 pub use bag::BagRelation;
 pub use database::DatabaseState;
-pub use dump::{dump_state, load_state, DumpError};
+pub use dump::{decode_tuple, dump_state, encode_tuple, load_state, DumpError};
 pub use error::StorageError;
 pub use relation::Relation;
 pub use schema::{Catalog, RelName, RelSchema};

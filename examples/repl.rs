@@ -1,230 +1,54 @@
-//! An interactive HQL shell.
+//! An interactive HQL shell — now a thin front on
+//! [`hypoquery_client::repl`], the same command loop the
+//! `hypoquery-cli` binary uses.
 //!
-//! Run with: `cargo run --example repl`, then type commands:
+//! Run with: `cargo run --example repl`. If a `hypoquery-serve` is
+//! listening on the default port the shell attaches to it; otherwise it
+//! falls back to an in-process session over a private database, so the
+//! example keeps working standalone:
 //!
 //! ```text
 //! define emp id,salary
 //! load emp (1, 100) (2, 200)
 //! query select salary >= 200 (emp)
 //! query emp when {insert into emp (row(3, 300))}
+//! branch raise update emp set ... -- any HQL update
+//! switch raise
+//! table emp
 //! strategy lazy
 //! explain emp when {delete from emp (emp)}
-//! update insert into emp (row(4, 400))
-//! constraint cap select #1 > 1000 (emp)
-//! schema
 //! quit
 //! ```
 //!
 //! Also works non-interactively: `echo "..." | cargo run --example repl`.
+//! Set `HQL_INTERACTIVE=1` for a `hql>` prompt, `HQL_ADDR=host:port` to
+//! pick a server, or `HQL_LOCAL=1` to skip the server probe.
 
-use std::io::{self, BufRead, Write};
+use std::io;
 
-use hypoquery::storage::{Tuple, Value};
-use hypoquery::{Database, Strategy};
-
-fn parse_rows(rest: &str) -> Result<Vec<Tuple>, String> {
-    // Rows look like (1, "a", true) (2, "b", false).
-    let mut rows = Vec::new();
-    let mut depth = 0usize;
-    let mut cur = String::new();
-    for c in rest.chars() {
-        match c {
-            '(' => {
-                if depth == 0 {
-                    cur.clear();
-                } else {
-                    cur.push(c);
-                }
-                depth += 1;
-            }
-            ')' => {
-                depth = depth.checked_sub(1).ok_or("unbalanced parentheses")?;
-                if depth == 0 {
-                    let vals: Result<Vec<Value>, String> = cur
-                        .split(',')
-                        .map(|f| {
-                            let f = f.trim();
-                            if let Ok(v) = f.parse::<i64>() {
-                                Ok(Value::int(v))
-                            } else if f == "true" || f == "false" {
-                                Ok(Value::bool(f == "true"))
-                            } else if f.starts_with('"') && f.ends_with('"') && f.len() >= 2 {
-                                Ok(Value::str(&f[1..f.len() - 1]))
-                            } else {
-                                Err(format!("bad literal {f:?}"))
-                            }
-                        })
-                        .collect();
-                    rows.push(Tuple::new(vals?));
-                } else {
-                    cur.push(c);
-                }
-            }
-            _ => {
-                if depth > 0 {
-                    cur.push(c);
-                }
-            }
-        }
-    }
-    if depth != 0 {
-        return Err("unbalanced parentheses".into());
-    }
-    Ok(rows)
-}
-
-fn run_command(db: &mut Database, strategy: &mut Strategy, line: &str) -> Result<String, String> {
-    let line = line.trim();
-    if line.is_empty() || line.starts_with("--") {
-        return Ok(String::new());
-    }
-    let (cmd, rest) = match line.split_once(char::is_whitespace) {
-        Some((c, r)) => (c, r.trim()),
-        None => (line, ""),
-    };
-    match cmd {
-        "define" => {
-            // `define emp 2` (positional) or `define emp id,salary` (named).
-            let (name, spec) = rest
-                .split_once(char::is_whitespace)
-                .ok_or("usage: define <name> <arity | attr,attr,...>")?;
-            let spec = spec.trim();
-            if let Ok(arity) = spec.parse::<usize>() {
-                db.define(name.trim(), arity).map_err(|e| e.to_string())?;
-                Ok(format!("defined {name}/{arity}"))
-            } else {
-                let attrs: Vec<&str> = spec.split(',').map(str::trim).collect();
-                let n = attrs.len();
-                db.define_named(name.trim(), attrs).map_err(|e| e.to_string())?;
-                Ok(format!("defined {name}/{n} ({spec})"))
-            }
-        }
-        "load" => {
-            let (name, rows_src) = rest
-                .split_once(char::is_whitespace)
-                .ok_or("usage: load <name> (v, ...) (v, ...)")?;
-            let rows = parse_rows(rows_src)?;
-            let n = rows.len();
-            db.load(name.trim(), rows).map_err(|e| e.to_string())?;
-            Ok(format!("loaded {n} row(s) into {name}"))
-        }
-        "query" => {
-            let out = db.query_with(rest, *strategy).map_err(|e| e.to_string())?;
-            Ok(format!("{out}  ({} row(s))", out.len()))
-        }
-        "update" => {
-            db.execute_update(rest).map_err(|e| e.to_string())?;
-            Ok("ok".into())
-        }
-        "constraint" => {
-            let (name, q) = rest
-                .split_once(char::is_whitespace)
-                .ok_or("usage: constraint <name> <violation query>")?;
-            db.add_constraint(name.trim(), q).map_err(|e| e.to_string())?;
-            Ok(format!("constraint {name} registered"))
-        }
-        "explain" => db.explain(rest).map_err(|e| e.to_string()),
-        "strategy" => {
-            *strategy = match rest {
-                "auto" => Strategy::Auto,
-                "lazy" => Strategy::Lazy,
-                "hql1" => Strategy::Hql1,
-                "hql2" => Strategy::Hql2,
-                "delta" => Strategy::Delta,
-                other => return Err(format!("unknown strategy {other:?}")),
-            };
-            Ok(format!("strategy set to {strategy}"))
-        }
-        "save" => {
-            std::fs::write(rest, db.dump()).map_err(|e| e.to_string())?;
-            Ok(format!("saved to {rest}"))
-        }
-        "open" => {
-            let text = std::fs::read_to_string(rest).map_err(|e| e.to_string())?;
-            *db = Database::restore(&text).map_err(|e| e.to_string())?;
-            Ok(format!("loaded {rest}"))
-        }
-        "table" => db.query_table(rest).map_err(|e| e.to_string()),
-        "schema" => {
-            let mut out = String::new();
-            for (name, schema) in db.catalog().iter() {
-                out.push_str(&format!("{name}/{}\n", schema.arity));
-            }
-            Ok(out.trim_end().to_string())
-        }
-        "quit" | "exit" => Err("__quit__".into()),
-        other => Err(format!(
-            "unknown command {other:?} (try define/load/query/table/update/constraint/explain/strategy/schema/save/open/quit)"
-        )),
-    }
-}
+use hypoquery_client::repl::{Backend, Repl};
+use hypoquery_server::proto::DEFAULT_PORT;
 
 fn main() {
-    let mut db = Database::new();
-    let mut strategy = Strategy::Auto;
+    let addr = std::env::var("HQL_ADDR").unwrap_or_else(|_| format!("127.0.0.1:{DEFAULT_PORT}"));
+    let backend = if std::env::var("HQL_LOCAL").is_ok() {
+        Backend::local()
+    } else {
+        let (backend, remote) = Backend::connect_or_local(&addr);
+        if remote {
+            println!("connected to {addr}");
+        }
+        backend
+    };
+    if !backend.is_remote() {
+        println!("hypoquery shell (in-process) — `help` for commands, `quit` to exit");
+    }
+
+    let prompt = std::env::var("HQL_INTERACTIVE").is_ok();
     let stdin = io::stdin();
-    let interactive = atty_stdin();
-    if interactive {
-        println!("hypoquery shell — `query <q>`, `quit` to exit");
-    }
-    let mut lock = stdin.lock();
-    let mut line = String::new();
-    loop {
-        if interactive {
-            print!("hql> ");
-            let _ = io::stdout().flush();
-        }
-        line.clear();
-        match lock.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(_) => break,
-        }
-        match run_command(&mut db, &mut strategy, &line) {
-            Ok(msg) => {
-                if !msg.is_empty() {
-                    println!("{msg}");
-                }
-            }
-            Err(e) if e == "__quit__" => break,
-            Err(e) => println!("error: {e}"),
-        }
-    }
-}
-
-/// Crude stdin-tty check without extra dependencies: honor an env override
-/// and default to non-interactive (script) behavior when piped.
-fn atty_stdin() -> bool {
-    std::env::var("HQL_INTERACTIVE").is_ok()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scripted_session() {
-        let mut db = Database::new();
-        let mut s = Strategy::Auto;
-        let script = [
-            "define emp 2",
-            "load emp (1, 100) (2, 200)",
-            "query select #1 >= 200 (emp)",
-            "strategy lazy",
-            "query emp when {insert into emp (row(3, 300))}",
-        ];
-        for cmd in script {
-            run_command(&mut db, &mut s, cmd).unwrap();
-        }
-        assert_eq!(db.query("emp").unwrap().len(), 2);
-    }
-
-    #[test]
-    fn row_parsing() {
-        let rows = parse_rows("(1, \"a\", true) (2, \"b\", false)").unwrap();
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].arity(), 3);
-        assert!(parse_rows("(1, 2").is_err());
-        assert!(parse_rows("(nope)").is_err());
+    let mut input = stdin.lock();
+    let mut output = io::stdout();
+    if let Err(e) = Repl::new(backend).run(&mut input, &mut output, prompt) {
+        eprintln!("i/o error: {e}");
     }
 }
