@@ -1,0 +1,86 @@
+//! E11 — snapshot-shared secondary indexes.
+//!
+//! Two claims:
+//!
+//! 1. **Point-equality selects probe, not scan.** With an index declared
+//!    on `R.#0`, `σ_{#0=k}(R)` at 100k rows is answered from a hash
+//!    probe; the undeclared baseline pays a full scan.
+//! 2. **CoW branches share the built index.** The cache keys on the
+//!    relation's shared storage pointer, so 8 what-if branches that
+//!    mutate *other* relations all reuse the one physical index — zero
+//!    rebuilds (asserted by the `report` binary, measured here).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hypoquery_algebra::{CmpOp, Query};
+use hypoquery_bench::workload::{sel, two_table_db};
+use hypoquery_eval::eval_query;
+use hypoquery_storage::{tuple, DatabaseState, RelName};
+
+const ROWS: usize = 100_000;
+
+fn point(k: i64) -> Query {
+    sel(Query::base("R"), CmpOp::Eq, k)
+}
+
+/// The base state, optionally with an index declared on `R.#0`.
+fn db(indexed: bool) -> DatabaseState {
+    let mut db = two_table_db(ROWS, ROWS, ROWS as i64, 11);
+    if indexed {
+        db.declare_index(RelName::new("R"), 0).unwrap();
+        // Warm the build so the timed series measures steady-state probes.
+        eval_query(&point(0), &db).unwrap();
+    }
+    db
+}
+
+fn bench_point_select(c: &mut Criterion) {
+    let scan_db = db(false);
+    let indexed_db = db(true);
+    let mut g = c.benchmark_group("e11_point_select");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (name, state) in [("scan", &scan_db), ("indexed", &indexed_db)] {
+        g.bench_with_input(BenchmarkId::new(name, ROWS), state, |b, s| {
+            let mut k = 0i64;
+            b.iter(|| {
+                k = (k + 7919) % ROWS as i64;
+                eval_query(&point(k), s).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_branch_reuse(c: &mut Criterion) {
+    let base = db(true);
+    // 8 CoW branches, each mutating S: R's storage pointer — and with it
+    // the cached index — stays shared across every branch.
+    let branches: Vec<DatabaseState> = (0..8i64)
+        .map(|i| {
+            let mut b = base.clone();
+            b.insert_row("S", tuple![ROWS as i64 + i, -i]).unwrap();
+            b
+        })
+        .collect();
+    let mut g = c.benchmark_group("e11_branch_reuse");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_with_input(
+        BenchmarkId::new("probe_8_branches", ROWS),
+        &branches,
+        |b, bs| {
+            let mut k = 0i64;
+            b.iter(|| {
+                k = (k + 7919) % ROWS as i64;
+                bs.iter()
+                    .map(|s| eval_query(&point(k), s).unwrap().len())
+                    .sum::<usize>()
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_point_select, bench_branch_reuse);
+criterion_main!(benches);

@@ -1,11 +1,17 @@
-//! Experiment report generator: runs every experiment (E1–E9) once with
+//! Experiment report generator: runs every experiment (E1–E11) once with
 //! wall-clock timing and prints the paper-claim-vs-measured tables that
-//! EXPERIMENTS.md records. E9 additionally writes machine-readable
-//! medians (ns per config) to `BENCH_e9.json` in the current directory —
-//! override the path with `BENCH_E9_JSON=<path>`.
+//! EXPERIMENTS.md records. E9–E11 additionally write machine-readable
+//! medians (ns per config) to `BENCH_e9.json` / `BENCH_e10.json` /
+//! `BENCH_e11.json` in the current directory — override the paths with
+//! `BENCH_E9_JSON` / `BENCH_E10_JSON` / `BENCH_E11_JSON`.
 //!
 //! Run with: `cargo run --release -p hypoquery-bench --bin report`
 //! (a debug build measures the same shapes, ~20× slower.)
+//!
+//! Set `HYPOQUERY_BENCH_QUICK=1` for a smoke run (CI): the same
+//! experiments over ~20× smaller relations with minimal repetitions —
+//! numbers are not meaningful, but every code path runs and every
+//! `BENCH_*.json` file is written.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -23,6 +29,29 @@ use hypoquery_eval::{
 };
 use hypoquery_opt::{optimize, plan, reduce_optimized, PlannedStrategy, Statistics};
 use hypoquery_storage::DatabaseState;
+
+/// `HYPOQUERY_BENCH_QUICK` selects the CI smoke configuration.
+fn quick() -> bool {
+    std::env::var_os("HYPOQUERY_BENCH_QUICK").is_some()
+}
+
+/// Relation sizes: full scale, or ~20× smaller in quick mode.
+fn scaled(n: usize) -> usize {
+    if quick() {
+        (n / 20).max(500)
+    } else {
+        n
+    }
+}
+
+/// Repetition counts for median timings: minimal in quick mode.
+fn reps(n: usize) -> usize {
+    if quick() {
+        3
+    } else {
+        n
+    }
+}
 
 fn time_ms(f: impl FnOnce() -> usize) -> (f64, usize) {
     let t = Instant::now();
@@ -55,6 +84,7 @@ fn main() {
     e8();
     e9();
     e10();
+    e11();
 }
 
 fn e1() {
@@ -65,7 +95,7 @@ fn e1() {
         "| rows | eager HQL-1 (ms) | eager HQL-2 (ms) | lazy (ms) | auto (ms) | auto picked |"
     );
     println!("|---:|---:|---:|---:|---:|:--|");
-    for n in [1_000usize, 10_000, 50_000] {
+    for n in [scaled(1_000), scaled(10_000), scaled(50_000)] {
         let keys = (10 * n) as i64;
         let db = two_table_db(n, n, keys, 1);
         let q = e1_query(keys * 3 / 10, keys * 6 / 10);
@@ -106,7 +136,8 @@ fn e2() {
         "| k queries | naive per-query (ms) | compose-once eager (ms) | compose-once lazy (ms) |"
     );
     println!("|---:|---:|---:|---:|");
-    let db = two_table_db(20_000, 20_000, 100, 2);
+    let n = scaled(20_000);
+    let db = two_table_db(n, n, 100, 2);
     let eta = e2_state(30, 60);
     for k in [1usize, 4, 16, 64] {
         let family = e2_family(k);
@@ -146,7 +177,7 @@ fn e3() {
     println!("reduces eager data work and lazy optimizer work.\n");
     println!("| rows | eager full subst (ms) | eager binding-removed (ms) | lazy red (ms) | lazy binding-removed (ms) |");
     println!("|---:|---:|---:|---:|---:|");
-    for n in [5_000usize, 50_000] {
+    for n in [scaled(5_000), scaled(50_000)] {
         let db = e3_db(n, 3);
         let eta = StateExpr::update(e3_update());
         let q = Query::base("R").union(Query::base("T"));
@@ -185,7 +216,8 @@ fn e4() {
     println!("(b) algebra rewriting finds ∅ cheaply; (c) eager wins on small values.\n");
     println!("| n | input nodes | lazy nodes | lazy red (ms) | rescue (ms) | eager HQL-1 (ms) |");
     println!("|---:|---:|---:|---:|---:|---:|");
-    for n in [6usize, 10, 14] {
+    let depths: &[usize] = if quick() { &[6, 8] } else { &[6, 10, 14] };
+    for &n in depths {
         let (q, _) = e4_query(n, None);
         let input_nodes = q.node_count();
         let (tred, lazy_nodes) = bench_ms(|| red_query(&q).unwrap().node_count());
@@ -213,7 +245,7 @@ fn e5() {
     println!("makes join-when only nominally more expensive than the plain join");
     println!("(~22% extra at 2% in Heraclitus); full xsub materialization pays");
     println!("the whole hypothetical relation regardless.\n");
-    let n = 50_000usize;
+    let n = scaled(50_000);
     let db = two_table_db(n, n, (n as i64) * 10, 4);
     let join = rs_join();
     let (tbase, _) = bench_ms(|| eval_pure(&join, &db).unwrap().len());
@@ -253,7 +285,8 @@ fn e6() {
     println!("operators into single physical operations'.\n");
     println!("| query | HQL-1 (ms) | HQL-2 (ms) |");
     println!("|:--|---:|---:|");
-    let db = two_table_db(30_000, 30_000, 5_000, 5);
+    let n = scaled(30_000);
+    let db = two_table_db(n, n, 5_000, 5);
     use hypoquery_algebra::{CmpOp, Predicate, Update};
     let eta = StateExpr::update(Update::insert(
         "R",
@@ -293,7 +326,8 @@ fn e7() {
     println!("twice'; eager wins as occurrences grow.\n");
     println!("| occurrences | lazy (ms) | eager HQL-2 (ms) | auto (ms) | auto picked |");
     println!("|---:|---:|---:|---:|:--|");
-    let db = two_table_db(20_000, 20_000, 20_000, 6);
+    let n = scaled(20_000);
+    let db = two_table_db(n, n, n as i64, 6);
     let stats = Statistics::of(&db);
     for m in [1usize, 2, 4, 8, 16] {
         let q = e7_query(m);
@@ -319,7 +353,8 @@ fn e8() {
     println!("claim: no fixed strategy wins everywhere; Auto tracks the best.\n");
     println!("| scenario | lazy (ms) | HQL-2 (ms) | HQL-3 (ms) | auto (ms) | auto picked |");
     println!("|:--|---:|---:|---:|---:|:--|");
-    let db = two_table_db(20_000, 20_000, 20_000, 8);
+    let n = scaled(20_000);
+    let db = two_table_db(n, n, n as i64, 8);
     let stats = Statistics::of(&db);
     let scenarios: Vec<(&str, Query)> = vec![
         ("empty_provable (E1)", e1_query(6_000, 12_000)),
@@ -378,16 +413,18 @@ fn e9() {
         median
     };
 
-    let rows = 100_000usize;
+    let rows = scaled(100_000);
     let state = two_table_db(rows, rows, 1000, 9);
     println!("| config | median |");
     println!("|:--|---:|");
-    let t = bench_ns("clone_cow_100k", 101, &mut || state.clone().total_tuples());
+    let t = bench_ns("clone_cow_100k", reps(101), &mut || {
+        state.clone().total_tuples()
+    });
     println!(
         "| `DatabaseState::clone` (CoW, {rows} rows) | {} |",
         fmt_ns(t)
     );
-    let t = bench_ns("clone_deep_100k", 5, &mut || {
+    let t = bench_ns("clone_deep_100k", reps(5), &mut || {
         let mut out = DatabaseState::new(state.catalog().clone());
         for (name, rel) in state.iter() {
             let copy =
@@ -401,29 +438,35 @@ fn e9() {
     let db = e9_db(rows, 9);
     let k = 8usize;
     let scenarios = e9_scenarios(k);
-    let t_deep = bench_ns(&format!("scenarios_deepcopy_seq_{k}x100k"), 5, &mut || {
-        scenarios
-            .iter()
-            .map(|q| {
-                let mut snapshot = DatabaseState::new(db.state().catalog().clone());
-                for (name, rel) in db.state().iter() {
-                    let copy =
-                        hypoquery_storage::Relation::from_rows(rel.arity(), rel.iter().cloned())
-                            .unwrap();
-                    snapshot.set(name.clone(), copy).unwrap();
-                }
-                std::hint::black_box(&snapshot);
-                db.execute(q, hypoquery_engine::Strategy::Lazy)
-                    .unwrap()
-                    .len()
-            })
-            .sum()
-    });
+    let t_deep = bench_ns(
+        &format!("scenarios_deepcopy_seq_{k}x100k"),
+        reps(5),
+        &mut || {
+            scenarios
+                .iter()
+                .map(|q| {
+                    let mut snapshot = DatabaseState::new(db.state().catalog().clone());
+                    for (name, rel) in db.state().iter() {
+                        let copy = hypoquery_storage::Relation::from_rows(
+                            rel.arity(),
+                            rel.iter().cloned(),
+                        )
+                        .unwrap();
+                        snapshot.set(name.clone(), copy).unwrap();
+                    }
+                    std::hint::black_box(&snapshot);
+                    db.execute(q, hypoquery_engine::Strategy::Lazy)
+                        .unwrap()
+                        .len()
+                })
+                .sum()
+        },
+    );
     println!(
         "| {k} scenarios, deep snapshot each (seed cost model) | {} |",
         fmt_ns(t_deep)
     );
-    let t_seq = bench_ns(&format!("scenarios_cow_seq_{k}x100k"), 5, &mut || {
+    let t_seq = bench_ns(&format!("scenarios_cow_seq_{k}x100k"), reps(5), &mut || {
         scenarios
             .iter()
             .map(|q| {
@@ -437,7 +480,7 @@ fn e9() {
         "| {k} scenarios, CoW snapshots, sequential | {} |",
         fmt_ns(t_seq)
     );
-    let t_par = bench_ns(&format!("scenarios_cow_par_{k}x100k"), 5, &mut || {
+    let t_par = bench_ns(&format!("scenarios_cow_par_{k}x100k"), reps(5), &mut || {
         db.execute_many(&scenarios, hypoquery_engine::Strategy::Lazy)
             .unwrap()
             .iter()
@@ -478,7 +521,7 @@ fn e10() {
     use hypoquery_client::Client;
     use hypoquery_server::{serve, ServerConfig};
 
-    let rows = 10_000usize;
+    let rows = scaled(10_000);
     let query = "select #0 > 990 (R) union select #0 <= 5 (S)";
     let branch_update = "delete from R (select #0 < 500 (R))";
 
@@ -517,7 +560,7 @@ fn e10() {
 
     println!("| config | median |");
     println!("|:--|---:|");
-    let t_inproc = bench_ns(&format!("inproc_query_{rows}"), 101, &mut || {
+    let t_inproc = bench_ns(&format!("inproc_query_{rows}"), reps(101), &mut || {
         db.query(query).unwrap().len()
     });
     println!(
@@ -526,7 +569,7 @@ fn e10() {
     );
 
     let mut client = Client::connect(addr).unwrap();
-    let t_ping = bench_ns("wire_ping", 101, &mut || {
+    let t_ping = bench_ns("wire_ping", reps(101), &mut || {
         client.ping().unwrap();
         1
     });
@@ -534,14 +577,14 @@ fn e10() {
         "| wire `PING` round-trip (protocol floor) | {} |",
         fmt_ns(t_ping)
     );
-    let t_wire = bench_ns(&format!("wire_query_{rows}"), 101, &mut || {
+    let t_wire = bench_ns(&format!("wire_query_{rows}"), reps(101), &mut || {
         client.query(query).unwrap().len()
     });
     println!("| wire query round-trip | {} |", fmt_ns(t_wire));
 
     client.branch("cut", None, branch_update).unwrap();
     client.switch(Some("cut")).unwrap();
-    let t_branch = bench_ns(&format!("wire_branch_query_{rows}"), 101, &mut || {
+    let t_branch = bench_ns(&format!("wire_branch_query_{rows}"), reps(101), &mut || {
         client.query(query).unwrap().len()
     });
     println!(
@@ -554,7 +597,7 @@ fn e10() {
     assert_eq!(client.query(query).unwrap(), db.query(query).unwrap());
 
     // Throughput: 8 concurrent clients, a fixed batch of queries each.
-    let per_client = 200usize;
+    let per_client = if quick() { 20 } else { 200 };
     let t_total = bench_ns(
         &format!("throughput_{CLIENTS}x{per_client}"),
         3,
@@ -593,6 +636,116 @@ fn e10() {
     handle.join();
 
     let path = std::env::var("BENCH_E10_JSON").unwrap_or_else(|_| "BENCH_e10.json".to_string());
+    let mut out = String::from("{\n");
+    for (i, (config, median)) in json.iter().enumerate() {
+        let comma = if i + 1 < json.len() { "," } else { "" };
+        out.push_str(&format!("  \"{config}\": {median:.1}{comma}\n"));
+    }
+    out.push_str("}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn e11() {
+    println!("## E11 — secondary indexes: point queries and snapshot reuse");
+    println!("claims: a declared hash index answers point-equality selects ≥10×");
+    println!("faster than a full scan at 100k rows, and CoW branches that leave");
+    println!("the indexed base untouched share the one physical index — zero");
+    println!("rebuilds across an 8-branch what-if tree.\n");
+
+    use hypoquery_algebra::CmpOp;
+    use hypoquery_storage::{tuple, RelName};
+
+    let mut json: Vec<(String, f64)> = Vec::new();
+    let mut bench_ns = |config: &str, reps: usize, f: &mut dyn FnMut() -> usize| -> f64 {
+        let mut samples: Vec<f64> = (0..reps.max(3))
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_secs_f64() * 1e9
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        json.push((config.to_string(), median));
+        median
+    };
+
+    let rows = scaled(100_000);
+    let db = two_table_db(rows, rows, rows as i64, 11);
+    let mut idb = db.clone();
+    idb.declare_index(RelName::new("R"), 0).unwrap();
+    // 64 probe keys spread over the key range.
+    let keys: Vec<i64> = (0..64i64).map(|i| (i * 7919) % rows as i64).collect();
+    let point = |k: i64| hypoquery_bench::workload::sel(Query::base("R"), CmpOp::Eq, k);
+
+    println!("| config | median |");
+    println!("|:--|---:|");
+    let t_scan = bench_ns(&format!("point_select_scan_{rows}"), reps(11), &mut || {
+        keys.iter()
+            .map(|&k| hypoquery_eval::eval_query(&point(k), &db).unwrap().len())
+            .sum()
+    });
+    println!(
+        "| {} point selects, full scan | {} |",
+        keys.len(),
+        fmt_ns(t_scan)
+    );
+    // Warm the build so the timed series measures steady-state probes.
+    hypoquery_eval::eval_query(&point(keys[0]), &idb).unwrap();
+    let t_idx = bench_ns(
+        &format!("point_select_indexed_{rows}"),
+        reps(11),
+        &mut || {
+            keys.iter()
+                .map(|&k| hypoquery_eval::eval_query(&point(k), &idb).unwrap().len())
+                .sum()
+        },
+    );
+    println!(
+        "| {} point selects, indexed | {} |",
+        keys.len(),
+        fmt_ns(t_idx)
+    );
+
+    // 8 CoW branches, each mutating S; R's storage pointer — and with it
+    // the cached index — stays shared across every branch.
+    let branches: Vec<DatabaseState> = (0..8i64)
+        .map(|i| {
+            let mut b = idb.clone();
+            b.insert_row("S", tuple![rows as i64 + i, -i]).unwrap();
+            b
+        })
+        .collect();
+    let before = hypoquery_storage::index_counters();
+    let t_branches = bench_ns(&format!("branch_probe_8x{rows}"), reps(11), &mut || {
+        branches
+            .iter()
+            .map(|b| {
+                keys.iter()
+                    .map(|&k| hypoquery_eval::eval_query(&point(k), b).unwrap().len())
+                    .sum::<usize>()
+            })
+            .sum()
+    });
+    let rebuilds = hypoquery_storage::index_counters().builds - before.builds;
+    assert_eq!(rebuilds, 0, "CoW branches must reuse the shared index");
+    println!(
+        "| 8 branches × {} point selects, shared index | {} |",
+        keys.len(),
+        fmt_ns(t_branches)
+    );
+
+    let speedup = t_scan / t_idx;
+    println!(
+        "\npoint-select speedup: {speedup:.1}×; index rebuilds across 8 branches: {rebuilds}\n"
+    );
+
+    json.push(("point_select_speedup".to_string(), speedup));
+    json.push(("branch_index_rebuilds_8x".to_string(), rebuilds as f64));
+    let path = std::env::var("BENCH_E11_JSON").unwrap_or_else(|_| "BENCH_e11.json".to_string());
     let mut out = String::from("{\n");
     for (i, (config, median)) in json.iter().enumerate() {
         let comma = if i + 1 < json.len() { "," } else { "" };

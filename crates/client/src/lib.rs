@@ -328,6 +328,28 @@ impl Client {
             .and_then(Self::expect_text)
     }
 
+    /// `INDEX relation col`: declare a secondary index on a column
+    /// (position, or attribute name for named schemas). Returns the
+    /// server's note (mentions when the declaration already existed).
+    pub fn create_index(&mut self, relation: &str, col: &str) -> Result<String, ClientError> {
+        match self.request(&Request::new(Verb::Index, format!("{relation} {col}"), ""))? {
+            Reply::Ok(note) => Ok(note),
+            other => Err(ClientError::Protocol(format!("expected OK, got {other:?}"))),
+        }
+    }
+
+    /// `UNINDEX relation col`: drop a secondary-index declaration.
+    pub fn drop_index(&mut self, relation: &str, col: &str) -> Result<String, ClientError> {
+        match self.request(&Request::new(
+            Verb::Unindex,
+            format!("{relation} {col}"),
+            "",
+        ))? {
+            Reply::Ok(note) => Ok(note),
+            other => Err(ClientError::Protocol(format!("expected OK, got {other:?}"))),
+        }
+    }
+
     /// `STATS` as rendered text.
     pub fn stats(&mut self) -> Result<String, ClientError> {
         self.request(&Request::new(Verb::Stats, "", ""))

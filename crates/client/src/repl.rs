@@ -102,6 +102,8 @@ commands (case-insensitive; most mirror wire verbs):
   prepare <name> {<updates>}              materialize a hypothetical state
   exec <name> <query>                     query a prepared state
   strategy <auto|lazy|hql1|hql2|delta>    set the evaluation strategy
+  index <relation> <column>               declare a secondary index
+  unindex <relation> <column>             drop a secondary index
   schema | dump | stats | ping            introspection
   save <file> / open <file>               dump to / restore from a file
   help / quit";

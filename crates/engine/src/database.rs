@@ -118,13 +118,50 @@ impl Database {
         }
         let mut catalog = self.state.catalog().clone();
         catalog.declare(name, schema)?;
-        // Rebuild state over the extended catalog, keeping data.
+        // Rebuild state over the extended catalog, keeping data and index
+        // declarations.
         let mut next = DatabaseState::new(catalog);
         for (n, rel) in self.state.iter() {
             next.set(n.clone(), rel.clone())?;
         }
+        for (n, col) in self.state.index_decls() {
+            next.declare_index(n.clone(), col)?;
+        }
         self.state = next;
         Ok(())
+    }
+
+    /// Declare a secondary index on column `col` of relation `name`.
+    ///
+    /// Declarations are intent: the physical hash index is built lazily on
+    /// the first probe that can use it, and — because indexes are cached
+    /// on the relation's shared storage pointer — every copy-on-write
+    /// snapshot whose `name` is untouched reuses the same build for free.
+    /// Returns `true` if the declaration is new.
+    pub fn create_index(&mut self, name: &str, col: usize) -> Result<bool, EngineError> {
+        Ok(self.state.declare_index(name, col)?)
+    }
+
+    /// Drop the index declaration on column `col` of relation `name`.
+    /// Returns `true` if it existed. Errors on unknown relations and
+    /// out-of-range columns, mirroring [`Database::create_index`].
+    pub fn drop_index(&mut self, name: &str, col: usize) -> Result<bool, EngineError> {
+        let rel = RelName::new(name);
+        let arity = self.state.catalog().arity(&rel)?;
+        if col >= arity {
+            return Err(hypoquery_storage::StorageError::ArityMismatch {
+                context: "index column out of range",
+                expected: arity,
+                found: col,
+            }
+            .into());
+        }
+        Ok(self.state.undeclare_index(&rel, col))
+    }
+
+    /// Columns of `name` with a declared index (empty when none).
+    pub fn indexed_columns(&self, name: &str) -> Vec<usize> {
+        self.state.indexed_columns(&RelName::new(name))
     }
 
     /// The current catalog.
@@ -606,6 +643,54 @@ mod tests {
             "eager".parse::<Strategy>(),
             Err(EngineError::UnknownName(_))
         ));
+    }
+
+    #[test]
+    fn index_lifecycle_and_errors() {
+        let mut db = db();
+        assert!(db.create_index("emp", 0).unwrap());
+        assert!(!db.create_index("emp", 0).unwrap()); // idempotent
+        assert_eq!(db.indexed_columns("emp"), vec![0]);
+        // Queries are unchanged by the physical access path, across all
+        // strategies.
+        let q = "(select #0 = 2 (emp) join dept on #0 = #2) \
+                 when {insert into emp (row(9, 900))}";
+        let expected = db.query_with(q, Strategy::Lazy).unwrap();
+        for s in [
+            Strategy::Auto,
+            Strategy::Hql1,
+            Strategy::Hql2,
+            Strategy::Delta,
+        ] {
+            assert_eq!(db.query_with(q, s).unwrap(), expected, "strategy {s}");
+        }
+        assert!(db.drop_index("emp", 0).unwrap());
+        assert!(!db.drop_index("emp", 0).unwrap());
+        // Unknown relation / out-of-range column are errors both ways.
+        assert!(matches!(
+            db.create_index("nope", 0),
+            Err(EngineError::Storage(_))
+        ));
+        assert!(matches!(
+            db.create_index("emp", 2),
+            Err(EngineError::Storage(_))
+        ));
+        assert!(matches!(
+            db.drop_index("nope", 0),
+            Err(EngineError::Storage(_))
+        ));
+        assert!(matches!(
+            db.drop_index("emp", 2),
+            Err(EngineError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn define_preserves_index_declarations() {
+        let mut db = db();
+        db.create_index("emp", 1).unwrap();
+        db.define("extra", 1).unwrap();
+        assert_eq!(db.indexed_columns("emp"), vec![1]);
     }
 
     #[test]

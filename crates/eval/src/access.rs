@@ -1,0 +1,160 @@
+//! Index-aware access paths over declared secondary indexes.
+//!
+//! The evaluators in this crate stay scan-based unless a relation has a
+//! *declared* index ([`DatabaseState::declare_index`]) — declaring is
+//! intent; the physical hash map is built lazily on the first probe and
+//! cached on the relation's shared CoW storage pointer
+//! (`hypoquery_storage::index`), so every snapshot that still shares the
+//! base relation probes one index.
+//!
+//! Two access paths live here:
+//!
+//! * [`indexed_select`] — `σ_{…#i=c…}(R)` becomes an index probe when
+//!   column `i` is declared;
+//! * [`prepare_join_index`] — before an equi-join over base relations,
+//!   build the declared index that lets [`crate::join::join`] (which only
+//!   ever *looks up*, never builds) replace its hash-build side. The
+//!   choice is cost-based: an index on the larger operand leaves only the
+//!   smaller one to iterate.
+//!
+//! [`DatabaseState::declare_index`]: hypoquery_storage::DatabaseState::declare_index
+
+use hypoquery_algebra::{CmpOp, Predicate, ScalarExpr};
+use hypoquery_storage::{lookup_or_build_index, Relation, Value};
+
+use crate::join::split_equi_pairs;
+
+/// The top-level point-equality conjuncts `#i = const` of `p` (both
+/// operand orders), descending only through `And` — a disjunction or
+/// negation makes the conjunct non-guaranteed and is ignored.
+pub fn point_eq_conjuncts(p: &Predicate) -> Vec<(usize, Value)> {
+    let mut out = Vec::new();
+    collect_points(p, &mut out);
+    out
+}
+
+fn collect_points(p: &Predicate, out: &mut Vec<(usize, Value)>) {
+    match p {
+        Predicate::And(a, b) => {
+            collect_points(a, out);
+            collect_points(b, out);
+        }
+        Predicate::Cmp(ScalarExpr::Col(i), CmpOp::Eq, ScalarExpr::Const(v))
+        | Predicate::Cmp(ScalarExpr::Const(v), CmpOp::Eq, ScalarExpr::Col(i)) => {
+            out.push((*i, v.clone()));
+        }
+        _ => {}
+    }
+}
+
+/// Evaluate `σ_p(rel)` by an index probe when `p` carries a point-equality
+/// conjunct on one of the `declared` columns. `None` means "no usable
+/// index — scan". The full predicate is re-applied to the probed
+/// candidates, so residual conjuncts (and the probed equality itself)
+/// stay exact.
+pub fn indexed_select(rel: &Relation, p: &Predicate, declared: &[usize]) -> Option<Relation> {
+    if declared.is_empty() || rel.is_empty() {
+        return None;
+    }
+    let (col, v) = point_eq_conjuncts(p)
+        .into_iter()
+        .find(|(c, _)| declared.contains(c))?;
+    let idx = lookup_or_build_index(rel, &[col]);
+    let mut out = Relation::empty(rel.arity());
+    for t in idx.probe(&[v]) {
+        if p.eval(t) {
+            let _ = out.insert(t.clone());
+        }
+    }
+    Some(out)
+}
+
+/// Build (lazily, through the shared cache) the declared index most useful
+/// for `a ⋈_pred b`, so the lookup-only probe inside [`crate::join::join`]
+/// finds it. `a_declared`/`b_declared` are each operand's declared indexed
+/// columns *when it resolves to its stored base relation* — pass empty for
+/// computed operands; their transient storage must not pollute the cache.
+///
+/// Build-side selection is cost-based: when both sides qualify, index the
+/// larger relation, leaving only the smaller one to iterate.
+pub fn prepare_join_index(
+    a: &Relation,
+    a_declared: &[usize],
+    b: &Relation,
+    b_declared: &[usize],
+    pred: &Predicate,
+) {
+    let (pairs, _) = split_equi_pairs(pred, a.arity());
+    if pairs.is_empty() {
+        return;
+    }
+    let left_cols: Vec<usize> = pairs.iter().map(|p| p.left).collect();
+    let right_cols: Vec<usize> = pairs.iter().map(|p| p.right).collect();
+    let left_ok = !a.is_empty() && left_cols.iter().all(|c| a_declared.contains(c));
+    let right_ok = !b.is_empty() && right_cols.iter().all(|c| b_declared.contains(c));
+    match (left_ok, right_ok) {
+        (true, true) => {
+            if a.len() > b.len() {
+                let _ = lookup_or_build_index(a, &left_cols);
+            } else {
+                let _ = lookup_or_build_index(b, &right_cols);
+            }
+        }
+        (true, false) => {
+            let _ = lookup_or_build_index(a, &left_cols);
+        }
+        (false, true) => {
+            let _ = lookup_or_build_index(b, &right_cols);
+        }
+        (false, false) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypoquery_algebra::Predicate as P;
+    use hypoquery_storage::{lookup_index, tuple};
+
+    fn rel() -> Relation {
+        Relation::from_rows(2, (0..100).map(|i| tuple![i % 10, i])).unwrap()
+    }
+
+    #[test]
+    fn point_conjuncts_both_orders_through_and() {
+        let p = P::col_cmp(0, CmpOp::Eq, 3)
+            .and(P::Cmp(
+                ScalarExpr::Const(Value::int(5)),
+                CmpOp::Eq,
+                ScalarExpr::Col(1),
+            ))
+            .and(P::col_cmp(1, CmpOp::Gt, 0));
+        let pts = point_eq_conjuncts(&p);
+        assert_eq!(pts, vec![(0, Value::int(3)), (1, Value::int(5))]);
+        // Disjunctions are not conjuncts.
+        let p = P::col_cmp(0, CmpOp::Eq, 3).or(P::True);
+        assert!(point_eq_conjuncts(&p).is_empty());
+    }
+
+    #[test]
+    fn indexed_select_matches_scan() {
+        let r = rel();
+        let p = P::col_cmp(0, CmpOp::Eq, 7).and(P::col_cmp(1, CmpOp::Lt, 50));
+        let scan = r.select(|t| p.eval(t));
+        let probed = indexed_select(&r, &p, &[0]).expect("usable index");
+        assert_eq!(probed, scan);
+        // Undeclared column: no index path.
+        assert!(indexed_select(&r, &p, &[1]).is_none());
+        assert!(indexed_select(&r, &P::col_cmp(0, CmpOp::Gt, 7), &[0]).is_none());
+    }
+
+    #[test]
+    fn prepare_builds_on_the_larger_declared_side() {
+        let big = rel();
+        let small = Relation::from_rows(2, (0..5).map(|i| tuple![i, i])).unwrap();
+        let pred = P::col_col(0, CmpOp::Eq, 2);
+        prepare_join_index(&small, &[0], &big, &[0], &pred);
+        assert!(lookup_index(&big, &[0]).is_some(), "larger side indexed");
+        assert!(lookup_index(&small, &[0]).is_none(), "smaller side skipped");
+    }
+}

@@ -22,13 +22,14 @@
 //! only; the bag property tests quantify over Cond-free updates, and
 //! direct bag evaluation of conditionals (this module) remains correct.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use hypoquery_storage::{BagRelation, Catalog, RelName, Tuple, Value};
 
-use hypoquery_algebra::{AggExpr, ExplicitSubst, Query, StateExpr, Update};
+use hypoquery_algebra::{AggExpr, ExplicitSubst, Predicate, Query, StateExpr, Update};
 
 use crate::error::EvalError;
+use crate::join::split_equi_pairs;
 
 /// A database state under bag semantics.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -131,11 +132,8 @@ pub fn eval_bag_query(q: &Query, db: &BagState) -> Result<BagRelation, EvalError
             .map_err(EvalError::Storage)?),
         Query::Product(a, b) => Ok(eval_bag_query(a, db)?.product(&eval_bag_query(b, db)?)),
         Query::Join(a, b, p) => {
-            // Bag join = σ_p over the bag product (kept simple; bags are
-            // an extension, not a performance path).
-            Ok(eval_bag_query(a, db)?
-                .product(&eval_bag_query(b, db)?)
-                .select(|t| p.eval(t)))
+            let (va, vb) = (eval_bag_query(a, db)?, eval_bag_query(b, db)?);
+            bag_join(&va, &vb, p).map_err(EvalError::Storage)
         }
         Query::When(inner, eta) => {
             let hyp = eval_bag_state(eta, db)?;
@@ -202,6 +200,40 @@ pub fn apply_bag_subst(db: &BagState, eps: &ExplicitSubst) -> Result<BagState, E
     let mut out = db.clone();
     for (name, v) in values {
         out.set(name, v)?;
+    }
+    Ok(out)
+}
+
+/// Bag equi-join: `σ_p(Q₁ × Q₂)` semantics, executed as a hash join on the
+/// conjunctive equality core of `p` (as [`crate::join`] does for sets).
+/// Output multiplicity is the product of the operand multiplicities; the
+/// residual predicate filters candidate pairs. When no equality core
+/// exists the evaluation falls back to the literal product-then-select.
+fn bag_join(
+    left: &BagRelation,
+    right: &BagRelation,
+    p: &Predicate,
+) -> Result<BagRelation, hypoquery_storage::StorageError> {
+    let (pairs, residual) = split_equi_pairs(p, left.arity());
+    if pairs.is_empty() {
+        return Ok(left.product(right).select(|t| p.eval(t)));
+    }
+    let mut table: HashMap<Vec<Value>, Vec<(&Tuple, u64)>> = HashMap::new();
+    for (r, m) in right.iter() {
+        let key: Vec<Value> = pairs.iter().map(|pr| r[pr.right].clone()).collect();
+        table.entry(key).or_default().push((r, m));
+    }
+    let mut out = BagRelation::empty(left.arity() + right.arity());
+    for (l, ml) in left.iter() {
+        let key: Vec<Value> = pairs.iter().map(|pr| l[pr.left].clone()).collect();
+        if let Some(matches) = table.get(&key) {
+            for (r, mr) in matches {
+                let joined = l.concat(r);
+                if residual.iter().all(|q| q.eval(&joined)) {
+                    out.insert(joined, ml * mr)?;
+                }
+            }
+        }
     }
     Ok(out)
 }
@@ -337,6 +369,29 @@ mod tests {
             eval_bag_query(&q, &db2).unwrap().multiplicity(&tuple![1]),
             2
         );
+    }
+
+    #[test]
+    fn bag_join_equals_product_then_select() {
+        let mut cat = Catalog::new();
+        cat.declare_arity("T", 2).unwrap();
+        cat.declare_arity("U", 2).unwrap();
+        let mut db = BagState::new(cat);
+        db.insert_row("T", tuple![1, 10], 2).unwrap();
+        db.insert_row("T", tuple![2, 20], 1).unwrap();
+        db.insert_row("T", tuple![3, 99], 1).unwrap();
+        db.insert_row("U", tuple![1, 100], 3).unwrap();
+        db.insert_row("U", tuple![2, 200], 2).unwrap();
+        let p = Predicate::col_col(0, CmpOp::Eq, 2).and(Predicate::col_cmp(1, CmpOp::Lt, 50));
+        let joined =
+            eval_bag_query(&Query::base("T").join(Query::base("U"), p.clone()), &db).unwrap();
+        let product =
+            eval_bag_query(&Query::base("T").product(Query::base("U")).select(p), &db).unwrap();
+        assert_eq!(joined, product);
+        // Multiplicities multiply: 2 copies of (1,10) × 3 copies of (1,100).
+        assert_eq!(joined.multiplicity(&tuple![1, 10, 1, 100]), 6);
+        assert_eq!(joined.multiplicity(&tuple![2, 20, 2, 200]), 2);
+        assert_eq!(joined.len(), 8);
     }
 
     #[test]

@@ -15,8 +15,19 @@ use hypoquery_storage::{DatabaseState, RelName, Relation, Tuple, Value};
 
 use hypoquery_algebra::{AggExpr, ExplicitSubst, Query, StateExpr, Update};
 
+use crate::access;
 use crate::error::EvalError;
 use crate::join;
+
+/// The declared indexed columns of `q` when it is a base-relation scan —
+/// the only shape whose evaluated value has the stable storage the index
+/// cache keys on. Empty for every computed shape.
+fn base_decls(q: &Query, r: &impl Resolver) -> Vec<usize> {
+    match q {
+        Query::Base(name) => r.indexed_columns(name),
+        _ => Vec::new(),
+    }
+}
 
 /// Resolves base relation names to relation values. The direct evaluator
 /// resolves against a [`DatabaseState`]; filtered evaluators
@@ -28,6 +39,15 @@ use crate::join;
 pub trait Resolver {
     /// The relation currently named `name`.
     fn resolve(&self, name: &RelName) -> Result<Cow<'_, Relation>, EvalError>;
+
+    /// The columns of `name` carrying a declared secondary index, *iff*
+    /// this resolver resolves `name` to its stored base relation. The
+    /// default says "none" — overlay resolvers that rebind names
+    /// (xsub/placeholder) must not claim indexes for rebound values.
+    fn indexed_columns(&self, name: &RelName) -> Vec<usize> {
+        let _ = name;
+        Vec::new()
+    }
 }
 
 impl Resolver for DatabaseState {
@@ -37,6 +57,10 @@ impl Resolver for DatabaseState {
             // Declared-but-empty (or undeclared → error) go through `get`.
             None => Ok(Cow::Owned(self.get(name)?)),
         }
+    }
+
+    fn indexed_columns(&self, name: &RelName) -> Vec<usize> {
+        DatabaseState::indexed_columns(self, name)
     }
 }
 
@@ -62,6 +86,11 @@ fn eval_pure_cow<'a>(q: &Query, r: &'a impl Resolver) -> Result<Cow<'a, Relation
         Query::Empty { arity } => Ok(Cow::Owned(Relation::empty(*arity))),
         Query::Select(inner, p) => {
             let input = eval_pure_cow(inner, r)?;
+            if let Query::Base(name) = inner.as_ref() {
+                if let Some(out) = access::indexed_select(&input, p, &r.indexed_columns(name)) {
+                    return Ok(Cow::Owned(out));
+                }
+            }
             Ok(Cow::Owned(input.select(|t| p.eval(t))))
         }
         Query::Project(inner, cols) => {
@@ -85,8 +114,9 @@ fn eval_pure_cow<'a>(q: &Query, r: &'a impl Resolver) -> Result<Cow<'a, Relation
             Ok(Cow::Owned(a.product(&b)))
         }
         Query::Join(a, b, p) => {
-            let (a, b) = (eval_pure_cow(a, r)?, eval_pure_cow(b, r)?);
-            Ok(Cow::Owned(join::join(&a, &b, p)))
+            let (va, vb) = (eval_pure_cow(a, r)?, eval_pure_cow(b, r)?);
+            access::prepare_join_index(&va, &base_decls(a, r), &vb, &base_decls(b, r), p);
+            Ok(Cow::Owned(join::join(&va, &vb, p)))
         }
         Query::When(_, _) => Err(EvalError::UnsupportedShape(q.to_string())),
         Query::Aggregate {
@@ -108,13 +138,25 @@ pub fn eval_query(q: &Query, db: &DatabaseState) -> Result<Relation, EvalError> 
             eval_query(inner, &hypothetical)
         }
         Query::Base(_) | Query::Singleton(_) | Query::Empty { .. } => eval_pure(q, db),
-        Query::Select(inner, p) => Ok(eval_query(inner, db)?.select(|t| p.eval(t))),
+        Query::Select(inner, p) => {
+            let input = eval_query(inner, db)?;
+            if let Query::Base(name) = inner.as_ref() {
+                if let Some(out) = access::indexed_select(&input, p, &db.indexed_columns(name)) {
+                    return Ok(out);
+                }
+            }
+            Ok(input.select(|t| p.eval(t)))
+        }
         Query::Project(inner, cols) => Ok(eval_query(inner, db)?.project(cols)?),
         Query::Union(a, b) => Ok(eval_query(a, db)?.union(&eval_query(b, db)?)?),
         Query::Intersect(a, b) => Ok(eval_query(a, db)?.intersect(&eval_query(b, db)?)?),
         Query::Diff(a, b) => Ok(eval_query(a, db)?.difference(&eval_query(b, db)?)?),
         Query::Product(a, b) => Ok(eval_query(a, db)?.product(&eval_query(b, db)?)),
-        Query::Join(a, b, p) => Ok(join::join(&eval_query(a, db)?, &eval_query(b, db)?, p)),
+        Query::Join(a, b, p) => {
+            let (va, vb) = (eval_query(a, db)?, eval_query(b, db)?);
+            access::prepare_join_index(&va, &base_decls(a, db), &vb, &base_decls(b, db), p);
+            Ok(join::join(&va, &vb, p))
+        }
         Query::Aggregate {
             input,
             group_by,

@@ -21,10 +21,21 @@ use hypoquery_storage::{DatabaseState, Relation};
 
 use hypoquery_algebra::{Query, StateExpr, Update};
 
+use crate::access;
 use crate::delta::{eval_filter_d, DeltaValue, RelDelta};
 use crate::direct::eval_aggregate;
 use crate::error::EvalError;
 use crate::join;
+
+/// Declared indexed columns of `q` when it is a base scan the delta leaves
+/// untouched — only then does its value share the stored base storage the
+/// index cache keys on.
+fn undeltaed_decls(q: &Query, delta: &DeltaValue, db: &DatabaseState) -> Vec<usize> {
+    match q {
+        Query::Base(name) if delta.get(name).is_none() => db.indexed_columns(name),
+        _ => Vec::new(),
+    }
+}
 
 /// `filter3(Q, Δ)` in state `db` (Figure 4). `Q` must be in mod-ENF.
 pub fn filter3(q: &Query, delta: &DeltaValue, db: &DatabaseState) -> Result<Relation, EvalError> {
@@ -39,11 +50,17 @@ pub fn filter3(q: &Query, delta: &DeltaValue, db: &DatabaseState) -> Result<Rela
         Query::Intersect(a, b) => Ok(filter3(a, delta, db)?.intersect(&filter3(b, delta, db)?)?),
         Query::Diff(a, b) => Ok(filter3(a, delta, db)?.difference(&filter3(b, delta, db)?)?),
         Query::Product(a, b) => Ok(filter3(a, delta, db)?.product(&filter3(b, delta, db)?)),
-        Query::Join(a, b, p) => Ok(join::join(
-            &filter3(a, delta, db)?,
-            &filter3(b, delta, db)?,
-            p,
-        )),
+        Query::Join(a, b, p) => {
+            let (va, vb) = (filter3(a, delta, db)?, filter3(b, delta, db)?);
+            access::prepare_join_index(
+                &va,
+                &undeltaed_decls(a, delta, db),
+                &vb,
+                &undeltaed_decls(b, delta, db),
+                p,
+            );
+            Ok(join::join(&va, &vb, p))
+        }
         Query::When(inner, eta) => {
             let StateExpr::Update(u) = &**eta else {
                 return Err(EvalError::UnsupportedShape(format!(

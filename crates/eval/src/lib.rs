@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod bag;
 pub mod delta;
 pub mod direct;
@@ -29,6 +30,7 @@ pub mod filter3;
 pub mod join;
 pub mod xsub;
 
+pub use access::{indexed_select, point_eq_conjuncts, prepare_join_index};
 pub use bag::{apply_bag_subst, eval_bag_query, eval_bag_state, eval_bag_update, BagState};
 pub use delta::{eval_filter_d, join_when, DeltaValue, RelDelta};
 pub use direct::{apply_subst, eval_pure, eval_query, eval_state, eval_update, Resolver};

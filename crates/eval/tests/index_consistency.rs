@@ -1,0 +1,121 @@
+//! Property tests for secondary indexes: declaring indexes is a pure
+//! access-path decision and must never change results. For random
+//! databases, queries, and hypothetical updates, every strategy's answer
+//! over an index-declared state equals direct evaluation over the same
+//! state with no declarations. Plus the snapshot-sharing invariant the
+//! cache is built on: physically shared storage resolves to the *same*
+//! built index, and a mutated (un-shared) snapshot gets a fresh one.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use hypoquery_algebra::StateExpr;
+use hypoquery_core::{fully_lazy, to_enf_query, to_mod_enf, RewriteTrace};
+use hypoquery_eval::{algorithm_hql1, algorithm_hql2, algorithm_hql3, eval_pure, eval_query};
+use hypoquery_storage::{lookup_or_build_index, tuple, DatabaseState, RelName};
+use hypoquery_testkit::{arb_db, arb_query, arb_update, Universe};
+
+fn universe() -> Universe {
+    Universe::standard()
+}
+
+/// `db` with an index declared on every column of every relation — the
+/// adversarial extreme: any query that *can* take an index path does.
+fn declare_all(db: &DatabaseState) -> DatabaseState {
+    let mut out = db.clone();
+    let decls: Vec<(RelName, usize)> = out
+        .catalog()
+        .iter()
+        .flat_map(|(name, schema)| (0..schema.arity).map(move |c| (name.clone(), c)))
+        .collect();
+    for (name, col) in decls {
+        out.declare_index(name, col).unwrap();
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Indexed == scan for all five strategies, on a hypothetical query
+    /// (`body when {update}`) over a random database.
+    #[test]
+    fn indexed_equals_scan_all_strategies(
+        body in arb_query(&universe(), 2, 2),
+        u in arb_update(&universe(), 2),
+        db in arb_db(&universe(), 6),
+    ) {
+        let q = body.when(StateExpr::update(u));
+        // Ground truth: direct evaluation with no index declarations.
+        let expected = eval_query(&q, &db).unwrap();
+        let idb = declare_all(&db);
+
+        // Direct.
+        prop_assert_eq!(eval_query(&q, &idb).unwrap(), expected.clone());
+        // Lazy.
+        let reduced = fully_lazy(&q, &mut RewriteTrace::new());
+        prop_assert_eq!(eval_pure(&reduced, &idb).unwrap(), expected.clone());
+        // HQL-1 / HQL-2 over ENF.
+        let enf = to_enf_query(&q, &mut RewriteTrace::new());
+        prop_assert_eq!(algorithm_hql1(&enf, &idb).unwrap(), expected.clone());
+        prop_assert_eq!(algorithm_hql2(&enf, &idb).unwrap(), expected.clone());
+        // HQL-3 over modified ENF (not every state expression qualifies).
+        if let Ok(modq) = to_mod_enf(&q) {
+            prop_assert_eq!(algorithm_hql3(&modq, &idb).unwrap(), expected);
+        }
+    }
+
+    /// Pure queries too: no hypothetical context, indexes still inert.
+    #[test]
+    fn indexed_equals_scan_pure(
+        q in arb_query(&universe(), 2, 3),
+        db in arb_db(&universe(), 6),
+    ) {
+        let expected = eval_query(&q, &db).unwrap();
+        let idb = declare_all(&db);
+        prop_assert_eq!(eval_query(&q, &idb).unwrap(), expected.clone());
+        // `eval_pure` needs a when-free query; reduce first.
+        let reduced = fully_lazy(&q, &mut RewriteTrace::new());
+        prop_assert_eq!(eval_pure(&reduced, &idb).unwrap(), expected);
+    }
+
+    /// The cache contract: snapshots that physically share a relation's
+    /// storage share the built index (same `Arc`), and a mutation —
+    /// which un-shares the storage — yields a fresh index that reflects
+    /// the new contents.
+    #[test]
+    fn shared_storage_shares_index(
+        db in arb_db(&universe(), 6),
+        col in 0usize..2,
+    ) {
+        let mut db = db;
+        let r = RelName::new("R");
+        // An empty binding is synthesized fresh on every read and shares
+        // nothing; make sure R is physically stored.
+        db.insert_row("R", tuple![0, 0]).unwrap();
+        let base = db.get(&r).unwrap();
+        let snapshot = db.clone();
+        let in_snapshot = snapshot.get(&r).unwrap();
+        prop_assert!(base.ptr_eq(&in_snapshot));
+        let i1 = lookup_or_build_index(&base, &[col]);
+        let i2 = lookup_or_build_index(&in_snapshot, &[col]);
+        prop_assert!(Arc::ptr_eq(&i1, &i2), "shared storage must share the index");
+
+        // Mutate the snapshot: storage un-shares, the index follows.
+        let mut mutated = db.clone();
+        mutated.insert_row("R", tuple![99, 99]).unwrap();
+        let in_mutated = mutated.get(&r).unwrap();
+        prop_assert!(!base.ptr_eq(&in_mutated));
+        let i3 = lookup_or_build_index(&in_mutated, &[col]);
+        prop_assert!(!Arc::ptr_eq(&i1, &i3), "mutated snapshot must get a fresh index");
+        // And the fresh index sees the mutation.
+        let probed = i3.probe(&[hypoquery_storage::Value::int(99)]);
+        prop_assert_eq!(probed, &[tuple![99, 99]]);
+
+        // The base's index is untouched by the branch's mutation.
+        let i4 = lookup_or_build_index(&base, &[col]);
+        prop_assert!(Arc::ptr_eq(&i1, &i4));
+        prop_assert!(i1.probe(&[hypoquery_storage::Value::int(99)]).is_empty());
+    }
+}

@@ -6,12 +6,12 @@
 //! choose between lazy, eager-xsub and eager-delta shapes. We use textbook
 //! selectivity constants over exact base cardinalities.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use hypoquery_storage::{DatabaseState, RelName};
+use hypoquery_storage::{distinct_count, DatabaseState, RelName};
 
 use hypoquery_algebra::scope::dom_state_expr;
-use hypoquery_algebra::{CmpOp, Predicate, Query, StateExpr, Update};
+use hypoquery_algebra::{CmpOp, Predicate, Query, ScalarExpr, StateExpr, Update};
 
 /// Selectivity assumed for equality predicates.
 pub const SEL_EQ: f64 = 0.1;
@@ -22,35 +22,118 @@ pub const SEL_NE: f64 = 0.9;
 /// Matching fraction assumed for join predicates beyond the equi-core.
 pub const SEL_JOIN: f64 = 0.1;
 
-/// Exact base-relation cardinalities, snapshotted from a state.
+/// Base-relation statistics, snapshotted from a state: exact
+/// cardinalities, declared arities, per-column distinct counts, and which
+/// columns carry a declared secondary index.
 #[derive(Clone, Debug, Default)]
 pub struct Statistics {
     cards: BTreeMap<RelName, f64>,
+    arities: BTreeMap<RelName, usize>,
+    distincts: BTreeMap<(RelName, usize), f64>,
+    indexed: BTreeMap<RelName, BTreeSet<usize>>,
 }
 
 impl Statistics {
-    /// Snapshot cardinalities from a database state.
+    /// Snapshot statistics from a database state. Distinct counts are
+    /// memoized per storage pointer (`hypoquery_storage::distinct_count`),
+    /// so repeated snapshots of unchanged relations cost one pass total.
     pub fn of(db: &DatabaseState) -> Self {
         let mut cards = BTreeMap::new();
+        let mut arities = BTreeMap::new();
+        let mut distincts = BTreeMap::new();
         for (name, schema) in db.catalog().iter() {
-            let _ = schema;
+            arities.insert(name.clone(), schema.arity);
             if let Ok(rel) = db.get(name) {
                 cards.insert(name.clone(), rel.len() as f64);
+                if !rel.is_empty() {
+                    for col in 0..schema.arity {
+                        distincts.insert((name.clone(), col), distinct_count(&rel, col) as f64);
+                    }
+                }
             }
         }
-        Statistics { cards }
+        let mut indexed: BTreeMap<RelName, BTreeSet<usize>> = BTreeMap::new();
+        for (name, col) in db.index_decls() {
+            indexed.entry(name.clone()).or_default().insert(col);
+        }
+        Statistics {
+            cards,
+            arities,
+            distincts,
+            indexed,
+        }
     }
 
     /// Build from explicit `(name, cardinality)` pairs.
     pub fn from_cards(cards: impl IntoIterator<Item = (RelName, f64)>) -> Self {
         Statistics {
             cards: cards.into_iter().collect(),
+            ..Statistics::default()
         }
     }
 
     /// Cardinality of a base relation (0 if unknown).
     pub fn card(&self, name: &RelName) -> f64 {
         self.cards.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Declared arity of a base relation, if known.
+    pub fn arity(&self, name: &RelName) -> Option<usize> {
+        self.arities.get(name).copied()
+    }
+
+    /// Distinct values in a base column, if measured.
+    pub fn distinct(&self, name: &RelName, col: usize) -> Option<f64> {
+        self.distincts.get(&(name.clone(), col)).copied()
+    }
+
+    /// Whether a secondary index is declared on `name.col`.
+    pub fn has_index(&self, name: &RelName, col: usize) -> bool {
+        self.indexed.get(name).is_some_and(|s| s.contains(&col))
+    }
+
+    /// Builder: record an arity (for hand-built test statistics).
+    pub fn with_arity(mut self, name: impl Into<RelName>, arity: usize) -> Self {
+        self.arities.insert(name.into(), arity);
+        self
+    }
+
+    /// Builder: record a distinct count (for hand-built test statistics).
+    pub fn with_distinct(mut self, name: impl Into<RelName>, col: usize, n: f64) -> Self {
+        self.distincts.insert((name.into(), col), n);
+        self
+    }
+
+    /// Builder: record an index declaration (for hand-built test
+    /// statistics).
+    pub fn with_index(mut self, name: impl Into<RelName>, col: usize) -> Self {
+        self.indexed.entry(name.into()).or_default().insert(col);
+        self
+    }
+}
+
+/// Estimated selectivity of a predicate over a *known base relation*:
+/// point equalities `#c = const` use the measured distinct count of the
+/// column (`1/V(R,c)`, the textbook uniform estimate) when available,
+/// falling back to the flat [`SEL_EQ`] constant otherwise. With `base`
+/// `None` this is exactly [`selectivity`].
+pub fn selectivity_over(p: &Predicate, base: Option<&RelName>, stats: &Statistics) -> f64 {
+    match p {
+        Predicate::And(a, b) => selectivity_over(a, base, stats) * selectivity_over(b, base, stats),
+        Predicate::Or(a, b) => {
+            let (sa, sb) = (
+                selectivity_over(a, base, stats),
+                selectivity_over(b, base, stats),
+            );
+            (sa + sb - sa * sb).min(1.0)
+        }
+        Predicate::Not(a) => 1.0 - selectivity_over(a, base, stats),
+        Predicate::Cmp(ScalarExpr::Col(c), CmpOp::Eq, ScalarExpr::Const(_))
+        | Predicate::Cmp(ScalarExpr::Const(_), CmpOp::Eq, ScalarExpr::Col(c)) => base
+            .and_then(|n| stats.distinct(n, *c))
+            .map(|d| (1.0 / d.max(1.0)).min(1.0))
+            .unwrap_or(SEL_EQ),
+        other => selectivity(other),
     }
 }
 
@@ -82,7 +165,13 @@ pub fn estimate_rows(q: &Query, stats: &Statistics) -> f64 {
         Query::Base(name) => stats.card(name),
         Query::Singleton(_) => 1.0,
         Query::Empty { .. } => 0.0,
-        Query::Select(inner, p) => estimate_rows(inner, stats) * selectivity(p),
+        Query::Select(inner, p) => {
+            let base = match &**inner {
+                Query::Base(name) => Some(name),
+                _ => None,
+            };
+            estimate_rows(inner, stats) * selectivity_over(p, base, stats)
+        }
         Query::Project(inner, _) => estimate_rows(inner, stats),
         Query::Union(a, b) => estimate_rows(a, stats) + estimate_rows(b, stats),
         Query::Intersect(a, b) => estimate_rows(a, stats).min(estimate_rows(b, stats)),
@@ -169,15 +258,79 @@ fn adjust_for_update(u: &Update, stats: &mut Statistics) {
     }
 }
 
+/// Columns constrained to a constant by the top-level conjunction of `p`.
+fn point_eq_cols(p: &Predicate) -> Vec<usize> {
+    match p {
+        Predicate::And(a, b) => {
+            let mut cols = point_eq_cols(a);
+            cols.extend(point_eq_cols(b));
+            cols
+        }
+        Predicate::Cmp(ScalarExpr::Col(c), CmpOp::Eq, ScalarExpr::Const(_))
+        | Predicate::Cmp(ScalarExpr::Const(_), CmpOp::Eq, ScalarExpr::Col(c)) => vec![*c],
+        _ => Vec::new(),
+    }
+}
+
+/// Cross-operand equality pairs `(left_col, right_col)` in a join
+/// predicate, with the right column rebased. Mirrors the executor's
+/// equi-core extraction (`hypoquery-eval::join::split_equi_pairs`).
+fn cross_equi_pairs(p: &Predicate, left_arity: usize) -> Vec<(usize, usize)> {
+    match p {
+        Predicate::And(a, b) => {
+            let mut pairs = cross_equi_pairs(a, left_arity);
+            pairs.extend(cross_equi_pairs(b, left_arity));
+            pairs
+        }
+        Predicate::Cmp(ScalarExpr::Col(x), CmpOp::Eq, ScalarExpr::Col(y)) => {
+            let (lo, hi) = if x < y { (*x, *y) } else { (*y, *x) };
+            if lo < left_arity && hi >= left_arity {
+                vec![(lo, hi - left_arity)]
+            } else {
+                Vec::new()
+            }
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Output arity of a query, when derivable from the statistics' declared
+/// arities (needed to rebase join-predicate columns).
+fn query_arity(q: &Query, stats: &Statistics) -> Option<usize> {
+    match q {
+        Query::Base(name) => stats.arity(name),
+        Query::Singleton(t) => Some(t.arity()),
+        Query::Empty { arity } => Some(*arity),
+        Query::Select(inner, _) | Query::When(inner, _) => query_arity(inner, stats),
+        Query::Project(_, cols) => Some(cols.len()),
+        Query::Union(a, _) | Query::Intersect(a, _) | Query::Diff(a, _) => query_arity(a, stats),
+        Query::Product(a, b) | Query::Join(a, b, _) => {
+            Some(query_arity(a, stats)? + query_arity(b, stats)?)
+        }
+        Query::Aggregate { group_by, aggs, .. } => Some(group_by.len() + aggs.len()),
+    }
+}
+
 /// Estimated evaluation *cost* of a pure query: total tuples flowing
-/// through all operators (a unit-cost-per-tuple model).
+/// through all operators (a unit-cost-per-tuple model). Declared secondary
+/// indexes change the access path: a point-equality select over an indexed
+/// base costs its output (a probe), and an equi-join whose base operand is
+/// indexed on the full equi-core skips the hash build and iterates only
+/// the other side. Without index declarations the model is unchanged.
 pub fn estimate_cost(q: &Query, stats: &Statistics) -> f64 {
     match q {
         Query::Base(name) => stats.card(name),
         Query::Singleton(_) | Query::Empty { .. } => 1.0,
-        Query::Select(inner, _) | Query::Project(inner, _) => {
+        Query::Select(inner, p) => {
+            if let Query::Base(name) = &**inner {
+                if point_eq_cols(p).iter().any(|c| stats.has_index(name, *c)) {
+                    // Index probe: pay for the matching rows only.
+                    return estimate_rows(q, stats).max(1.0);
+                }
+            }
             estimate_cost(inner, stats) + estimate_rows(inner, stats)
         }
+        Query::Project(inner, _) => estimate_cost(inner, stats) + estimate_rows(inner, stats),
         Query::Union(a, b) | Query::Intersect(a, b) | Query::Diff(a, b) => {
             estimate_cost(a, stats)
                 + estimate_cost(b, stats)
@@ -189,13 +342,32 @@ pub fn estimate_cost(q: &Query, stats: &Statistics) -> f64 {
                 + estimate_cost(b, stats)
                 + estimate_rows(a, stats) * estimate_rows(b, stats)
         }
-        Query::Join(a, b, _) => {
+        Query::Join(a, b, p) => {
+            let (ca, cb) = (estimate_cost(a, stats), estimate_cost(b, stats));
+            let (ra, rb) = (estimate_rows(a, stats), estimate_rows(b, stats));
+            let out = estimate_rows(q, stats);
+            if let Some(left_arity) = query_arity(a, stats) {
+                let pairs = cross_equi_pairs(p, left_arity);
+                if !pairs.is_empty() {
+                    let left_ok = matches!(&**a, Query::Base(n)
+                        if pairs.iter().all(|&(lc, _)| stats.has_index(n, lc)));
+                    let right_ok = matches!(&**b, Query::Base(n)
+                        if pairs.iter().all(|&(_, rc)| stats.has_index(n, rc)));
+                    if left_ok || right_ok {
+                        // Indexed build side: no hash build, iterate only
+                        // the probe side (the executor picks the cheaper
+                        // one when both are available).
+                        let probe = match (left_ok, right_ok) {
+                            (true, true) => ra.min(rb),
+                            (true, false) => rb,
+                            _ => ra,
+                        };
+                        return ca + cb + probe + out;
+                    }
+                }
+            }
             // Hash join: build + probe + output.
-            estimate_cost(a, stats)
-                + estimate_cost(b, stats)
-                + estimate_rows(a, stats)
-                + estimate_rows(b, stats)
-                + estimate_rows(q, stats)
+            ca + cb + ra + rb + out
         }
         Query::When(inner, eta) => {
             // Lazy view of a when: cost of the body under adjusted stats
@@ -281,12 +453,65 @@ mod tests {
     #[test]
     fn snapshot_from_state() {
         let mut cat = Catalog::new();
-        cat.declare_arity("R", 1).unwrap();
+        cat.declare_arity("R", 2).unwrap();
         let mut db = DatabaseState::new(cat);
-        db.insert_rows("R", [tuple![1], tuple![2]]).unwrap();
+        db.insert_rows("R", [tuple![1, 7], tuple![2, 7], tuple![2, 8]])
+            .unwrap();
+        db.declare_index("R", 0).unwrap();
         let s = Statistics::of(&db);
-        assert_eq!(s.card(&"R".into()), 2.0);
+        assert_eq!(s.card(&"R".into()), 3.0);
         assert_eq!(s.card(&"Z".into()), 0.0);
+        assert_eq!(s.arity(&"R".into()), Some(2));
+        // Per-column distinct counts come from the data.
+        assert_eq!(s.distinct(&"R".into(), 0), Some(2.0));
+        assert_eq!(s.distinct(&"R".into(), 1), Some(2.0));
+        assert_eq!(s.distinct(&"Z".into(), 0), None);
+        // Index declarations are visible.
+        assert!(s.has_index(&"R".into(), 0));
+        assert!(!s.has_index(&"R".into(), 1));
+    }
+
+    #[test]
+    fn distinct_counts_refine_equality_selectivity() {
+        // 1000-row R whose column 0 has 500 distinct values: a point
+        // select matches ~2 rows, not the flat 10%.
+        let st = Statistics::from_cards([("R".into(), 1000.0)]).with_distinct("R", 0, 500.0);
+        let q = Query::base("R").select(Predicate::col_cmp(0, CmpOp::Eq, 7));
+        assert!((estimate_rows(&q, &st) - 2.0).abs() < 1e-9);
+        // Unknown column falls back to SEL_EQ.
+        let q1 = Query::base("R").select(Predicate::col_cmp(1, CmpOp::Eq, 7));
+        assert!((estimate_rows(&q1, &st) - 1000.0 * SEL_EQ).abs() < 1e-9);
+        // Non-base inputs keep the flat constant.
+        let q2 = Query::base("R")
+            .union(Query::base("R"))
+            .select(Predicate::col_cmp(0, CmpOp::Eq, 7));
+        assert!((estimate_rows(&q2, &st) - 2000.0 * SEL_EQ).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_makes_point_select_cheap() {
+        let plain = Statistics::from_cards([("R".into(), 1000.0)]).with_arity("R", 2);
+        let indexed = plain.clone().with_index("R", 0);
+        let q = Query::base("R").select(Predicate::col_cmp(0, CmpOp::Eq, 7));
+        let scan_cost = estimate_cost(&q, &plain);
+        let probe_cost = estimate_cost(&q, &indexed);
+        assert!(probe_cost < scan_cost);
+        // A range select can't use the index; cost is unchanged.
+        let r = Query::base("R").select(Predicate::col_cmp(0, CmpOp::Lt, 7));
+        assert_eq!(estimate_cost(&r, &plain), estimate_cost(&r, &indexed));
+    }
+
+    #[test]
+    fn index_makes_equi_join_cheaper() {
+        let plain = Statistics::from_cards([("R".into(), 1000.0), ("S".into(), 100.0)])
+            .with_arity("R", 2)
+            .with_arity("S", 2);
+        let indexed = plain.clone().with_index("S", 0);
+        let q = Query::base("R").join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2));
+        assert!(estimate_cost(&q, &indexed) < estimate_cost(&q, &plain));
+        // An index on a non-equi column changes nothing.
+        let off = plain.clone().with_index("S", 1);
+        assert_eq!(estimate_cost(&q, &off), estimate_cost(&q, &plain));
     }
 
     #[test]

@@ -125,7 +125,11 @@ impl Metrics {
     }
 
     /// Render the whole registry as `key value` lines — the `STATS`
-    /// reply body. Verbs with zero traffic are omitted.
+    /// reply body. Verbs with zero traffic are omitted. Secondary-index
+    /// cache counters (process-wide, from `hypoquery_storage`) ride along
+    /// as `index.*` lines: `hits` are probes answered from cache, `misses`
+    /// are probes that found no cached build, `builds` are physical index
+    /// constructions — `misses == builds` means no rebuild was wasted.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (key, val) in [
@@ -139,6 +143,17 @@ impl Metrics {
             out.push_str(key);
             out.push(' ');
             out.push_str(&val.load(Ordering::Relaxed).to_string());
+            out.push('\n');
+        }
+        let idx = hypoquery_storage::index_counters();
+        for (key, val) in [
+            ("index.hits", idx.hits),
+            ("index.misses", idx.misses),
+            ("index.builds", idx.builds),
+        ] {
+            out.push_str(key);
+            out.push(' ');
+            out.push_str(&val.to_string());
             out.push('\n');
         }
         for v in Verb::ALL {
@@ -215,6 +230,10 @@ mod tests {
         assert!(text.contains("verb.PING.count 1"), "{text}");
         // Untouched verbs are omitted.
         assert!(!text.contains("verb.DUMP"), "{text}");
+        // Index cache counters are always present.
+        assert!(text.contains("index.hits "), "{text}");
+        assert!(text.contains("index.misses "), "{text}");
+        assert!(text.contains("index.builds "), "{text}");
         // Every line is `key value`.
         for line in text.lines() {
             let mut parts = line.split(' ');

@@ -171,6 +171,8 @@ pub enum Verb {
     Schema,
     Dump,
     Restore,
+    Index,
+    Unindex,
     Stats,
     Bye,
     Shutdown,
@@ -178,7 +180,7 @@ pub enum Verb {
 
 impl Verb {
     /// All verbs, in a fixed order (metrics are indexed by this).
-    pub const ALL: [Verb; 21] = [
+    pub const ALL: [Verb; 23] = [
         Verb::Ping,
         Verb::Query,
         Verb::Table,
@@ -197,6 +199,8 @@ impl Verb {
         Verb::Schema,
         Verb::Dump,
         Verb::Restore,
+        Verb::Index,
+        Verb::Unindex,
         Verb::Stats,
         Verb::Bye,
         Verb::Shutdown,
@@ -223,6 +227,8 @@ impl Verb {
             Verb::Schema => "SCHEMA",
             Verb::Dump => "DUMP",
             Verb::Restore => "RESTORE",
+            Verb::Index => "INDEX",
+            Verb::Unindex => "UNINDEX",
             Verb::Stats => "STATS",
             Verb::Bye => "BYE",
             Verb::Shutdown => "SHUTDOWN",

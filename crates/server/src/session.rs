@@ -89,6 +89,8 @@ impl Session {
             Verb::Schema => Ok(self.schema()),
             Verb::Dump => Ok(Reply::Text(self.db.dump())),
             Verb::Restore => self.restore(req),
+            Verb::Index => self.create_index(req),
+            Verb::Unindex => self.drop_index(req),
             Verb::Stats => Err(WireError::proto("STATS is handled by the server")),
             Verb::Bye => return (Reply::ok(), Control::Close),
             Verb::Shutdown => return (Reply::ok(), Control::Shutdown),
@@ -387,6 +389,52 @@ impl Session {
         Ok(Reply::ok())
     }
 
+    /// Parse `<relation> <column>` where the column is a position or (for
+    /// named schemas) an attribute name.
+    fn index_args(&self, args: &str, usage: &'static str) -> Result<(String, usize), WireError> {
+        let mut parts = args.split_whitespace();
+        let (Some(name), Some(col), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(WireError::proto(usage));
+        };
+        let col = match col.parse::<usize>() {
+            Ok(c) => c,
+            Err(_) => self
+                .db
+                .catalog()
+                .schema(&name.into())
+                .and_then(|s| s.attrs.as_ref())
+                .and_then(|attrs| attrs.iter().position(|a| a == col))
+                .ok_or_else(|| WireError::proto(format!("unknown column {col:?}")))?,
+        };
+        Ok((name.to_string(), col))
+    }
+
+    fn create_index(&mut self, req: &Request) -> Result<Reply, WireError> {
+        let (name, col) = self.index_args(&req.args, "usage: INDEX <relation> <column>")?;
+        let fresh = self
+            .db
+            .create_index(&name, col)
+            .map_err(|e| WireError::from_engine(&e))?;
+        Ok(Reply::Ok(if fresh {
+            format!("index {name}.{col}")
+        } else {
+            format!("index {name}.{col} (already declared)")
+        }))
+    }
+
+    fn drop_index(&mut self, req: &Request) -> Result<Reply, WireError> {
+        let (name, col) = self.index_args(&req.args, "usage: UNINDEX <relation> <column>")?;
+        let existed = self
+            .db
+            .drop_index(&name, col)
+            .map_err(|e| WireError::from_engine(&e))?;
+        Ok(Reply::Ok(if existed {
+            format!("dropped index {name}.{col}")
+        } else {
+            format!("no index {name}.{col}")
+        }))
+    }
+
     fn schema(&self) -> Reply {
         let mut out = String::new();
         for (name, schema) in self.db.catalog().iter() {
@@ -648,6 +696,38 @@ mod tests {
         assert_eq!(rows(ok(&mut s, "QUERY inv", "")), 3);
         assert_eq!(err(&mut s, "SWITCH stale", "").code, ErrCode::Unknown);
         assert_eq!(err(&mut s, "RESTORE", "").code, ErrCode::Proto);
+    }
+
+    #[test]
+    fn index_verbs_lifecycle_and_errors() {
+        let mut s = session();
+        // Named and positional column forms.
+        assert!(matches!(
+            ok(&mut s, "INDEX inv item", ""),
+            Reply::Ok(n) if n == "index inv.0"
+        ));
+        assert!(matches!(
+            ok(&mut s, "INDEX inv 0", ""),
+            Reply::Ok(n) if n.contains("already declared")
+        ));
+        // Queries are unaffected by the access path.
+        assert_eq!(rows(ok(&mut s, "QUERY select item = 2 (inv)", "")), 1);
+        assert!(matches!(
+            ok(&mut s, "UNINDEX inv 0", ""),
+            Reply::Ok(n) if n == "dropped index inv.0"
+        ));
+        assert!(matches!(
+            ok(&mut s, "UNINDEX inv 0", ""),
+            Reply::Ok(n) if n == "no index inv.0"
+        ));
+        // Errors: unknown relation, out-of-range column, bad arg shapes.
+        assert_eq!(err(&mut s, "INDEX nosuch 0", "").code, ErrCode::Storage);
+        assert_eq!(err(&mut s, "INDEX inv 2", "").code, ErrCode::Storage);
+        assert_eq!(err(&mut s, "UNINDEX nosuch 0", "").code, ErrCode::Storage);
+        assert_eq!(err(&mut s, "UNINDEX inv 9", "").code, ErrCode::Storage);
+        assert_eq!(err(&mut s, "INDEX inv", "").code, ErrCode::Proto);
+        assert_eq!(err(&mut s, "INDEX inv nope", "").code, ErrCode::Proto);
+        assert_eq!(err(&mut s, "INDEX inv 0 extra", "").code, ErrCode::Proto);
     }
 
     #[test]

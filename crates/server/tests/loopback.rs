@@ -179,6 +179,58 @@ fn stats_reconcile_with_request_count() {
 }
 
 #[test]
+fn index_verbs_roundtrip_and_stats_counters_reconcile() {
+    let handle = start(ServerConfig::default());
+    let addr = handle.addr();
+    let mut c = Client::connect(addr).unwrap();
+
+    // The index cache counters are process-global, so reconcile deltas
+    // around this test's own traffic rather than absolute values.
+    let before = c.stats_map().unwrap();
+    for key in ["index.hits", "index.misses", "index.builds"] {
+        assert!(before.contains_key(key), "{before:?}");
+    }
+
+    // Declare by attribute name; the note names the resolved position.
+    assert_eq!(c.create_index("inv", "qty").unwrap(), "index inv.1");
+    assert!(c
+        .create_index("inv", "1")
+        .unwrap()
+        .contains("already declared"));
+
+    // First point query builds the index (one miss, one build) …
+    assert_eq!(c.query("select qty = 40 (inv)").unwrap().len(), 1);
+    // … the second is answered from cache (a hit), zero new builds.
+    assert_eq!(c.query("select qty = 40 (inv)").unwrap().len(), 1);
+    let after = c.stats_map().unwrap();
+    let delta = |k: &str| after[k] - before[k];
+    assert!(delta("index.builds") >= 1, "{after:?}");
+    assert!(delta("index.hits") >= 1, "{after:?}");
+    // Every build was requested through a miss: misses keep pace.
+    assert!(delta("index.misses") >= delta("index.builds"), "{after:?}");
+
+    // UNINDEX round-trip.
+    assert_eq!(c.drop_index("inv", "qty").unwrap(), "dropped index inv.1");
+    assert_eq!(c.drop_index("inv", "1").unwrap(), "no index inv.1");
+
+    // Error replies: unknown relation and out-of-range column, both verbs.
+    for (rel, col) in [("nosuch", "0"), ("inv", "9")] {
+        let e = c.create_index(rel, col).unwrap_err();
+        assert_eq!(e.code(), Some(ErrCode::Storage), "{e}");
+        let e = c.drop_index(rel, col).unwrap_err();
+        assert_eq!(e.code(), Some(ErrCode::Storage), "{e}");
+    }
+    // Malformed argument shapes are protocol errors.
+    let e = c.create_index("inv", "").unwrap_err();
+    assert_eq!(e.code(), Some(ErrCode::Proto), "{e}");
+    let e = c.create_index("inv", "qty extra").unwrap_err();
+    assert_eq!(e.code(), Some(ErrCode::Proto), "{e}");
+
+    c.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
 fn malformed_requests_answer_and_keep_the_connection() {
     let handle = start(quick_config());
     let addr = handle.addr();

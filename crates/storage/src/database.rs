@@ -12,7 +12,7 @@
 //! relations. This is the storage half of the multi-scenario executor:
 //! k hypothetical branches over an n-tuple base share the base physically.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -26,11 +26,23 @@ use crate::tuple::Tuple;
 /// Cloning is O(1); mutating a clone copies the binding map on first write
 /// (O(#relations) pointer bumps), leaving all untouched relations
 /// physically shared with the original.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct DatabaseState {
     catalog: Arc<Catalog>,
     rels: Arc<BTreeMap<RelName, Relation>>,
+    /// Declared secondary indexes: relation → indexed columns. Physical
+    /// metadata only — excluded from `PartialEq`, which compares the
+    /// logical state function the paper quantifies over.
+    indexes: Arc<BTreeMap<RelName, BTreeSet<usize>>>,
 }
+
+impl PartialEq for DatabaseState {
+    fn eq(&self, other: &Self) -> bool {
+        self.catalog == other.catalog && self.rels == other.rels
+    }
+}
+
+impl Eq for DatabaseState {}
 
 impl DatabaseState {
     /// The state mapping every declared relation to the empty relation.
@@ -38,6 +50,7 @@ impl DatabaseState {
         DatabaseState {
             catalog: Arc::new(catalog),
             rels: Arc::new(BTreeMap::new()),
+            indexes: Arc::new(BTreeMap::new()),
         }
     }
 
@@ -143,6 +156,77 @@ impl DatabaseState {
             self.insert_row(name.clone(), row)?;
         }
         Ok(())
+    }
+
+    /// Declare a hash index on column `col` of `name`. Errors if `name`
+    /// is undeclared or `col` is out of range for its arity. Returns
+    /// whether the declaration is new.
+    ///
+    /// Declarations are *intent*, not data structures: the index itself is
+    /// built lazily on first probe and cached on the relation's shared
+    /// storage pointer (see [`crate::index`]), so CoW snapshots made after
+    /// this call inherit the declaration by pointer bump and share the
+    /// built index for free.
+    pub fn declare_index(
+        &mut self,
+        name: impl Into<RelName>,
+        col: usize,
+    ) -> Result<bool, StorageError> {
+        let name = name.into();
+        let arity = self.catalog.arity(&name)?;
+        if col >= arity {
+            return Err(StorageError::ArityMismatch {
+                context: "index column out of range",
+                expected: arity,
+                found: col,
+            });
+        }
+        Ok(Arc::make_mut(&mut self.indexes)
+            .entry(name)
+            .or_default()
+            .insert(col))
+    }
+
+    /// Drop the index declaration on `(name, col)`. Returns whether it
+    /// existed. The cached index (if built) dies with its storage; this
+    /// only stops future probes from consulting it.
+    pub fn undeclare_index(&mut self, name: &RelName, col: usize) -> bool {
+        if !self.has_index(name, col) {
+            // No-op: never un-share the registry map for nothing.
+            return false;
+        }
+        let map = Arc::make_mut(&mut self.indexes);
+        let Some(cols) = map.get_mut(name) else {
+            return false;
+        };
+        let removed = cols.remove(&col);
+        if cols.is_empty() {
+            map.remove(name);
+        }
+        removed
+    }
+
+    /// Whether an index is declared on column `col` of `name`.
+    pub fn has_index(&self, name: &RelName, col: usize) -> bool {
+        self.indexes
+            .get(name)
+            .is_some_and(|cols| cols.contains(&col))
+    }
+
+    /// The columns of `name` with a declared index, sorted (empty when
+    /// none).
+    pub fn indexed_columns(&self, name: &RelName) -> Vec<usize> {
+        self.indexes
+            .get(name)
+            .map(|cols| cols.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Iterate every index declaration as a `(relation, column)` pair.
+    pub fn index_decls(&self) -> impl Iterator<Item = (&RelName, usize)> {
+        self.indexes
+            .iter()
+            .flat_map(|(name, cols)| cols.iter().map(move |&c| (name, c)))
     }
 
     /// Total number of stored tuples across all relations.
@@ -265,6 +349,37 @@ mod tests {
             db2.shares_storage_with(&db),
             "removing an absent entry is a no-op"
         );
+    }
+
+    #[test]
+    fn index_declarations_validate_and_inherit() {
+        let mut db = DatabaseState::new(cat());
+        assert!(db.declare_index("R", 1).unwrap());
+        assert!(!db.declare_index("R", 1).unwrap(), "re-declare is a no-op");
+        assert!(db.declare_index("R", 2).is_err(), "column out of range");
+        assert!(db.declare_index("Z", 0).is_err(), "unknown relation");
+        assert!(db.has_index(&"R".into(), 1));
+        assert_eq!(db.indexed_columns(&"R".into()), vec![1]);
+        assert_eq!(db.indexed_columns(&"S".into()), Vec::<usize>::new());
+
+        // CoW snapshots inherit declarations.
+        let snap = db.clone();
+        assert!(snap.has_index(&"R".into(), 1));
+        assert_eq!(snap.index_decls().count(), 1);
+
+        assert!(db.undeclare_index(&"R".into(), 1));
+        assert!(!db.undeclare_index(&"R".into(), 1));
+        assert!(!db.has_index(&"R".into(), 1));
+        // The snapshot's registry is isolated from the drop.
+        assert!(snap.has_index(&"R".into(), 1));
+    }
+
+    #[test]
+    fn index_declarations_do_not_affect_state_equality() {
+        let mut a = DatabaseState::new(cat());
+        let b = a.clone();
+        a.declare_index("R", 0).unwrap();
+        assert_eq!(a, b, "indexes are physical metadata, not state");
     }
 
     #[test]

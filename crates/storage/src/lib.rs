@@ -19,6 +19,7 @@ pub mod bag;
 pub mod database;
 pub mod dump;
 pub mod error;
+pub mod index;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
@@ -28,6 +29,9 @@ pub use bag::BagRelation;
 pub use database::DatabaseState;
 pub use dump::{decode_tuple, dump_state, encode_tuple, load_state, DumpError};
 pub use error::StorageError;
+pub use index::{
+    distinct_count, index_counters, lookup_index, lookup_or_build_index, ColumnIndex, IndexCounters,
+};
 pub use relation::Relation;
 pub use schema::{Catalog, RelName, RelSchema};
 pub use tuple::Tuple;

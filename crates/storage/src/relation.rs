@@ -53,6 +53,13 @@ impl Relation {
         self.arity == other.arity && Arc::ptr_eq(&self.tuples, &other.tuples)
     }
 
+    /// The shared tuple storage itself. Crate-internal: the index cache
+    /// keys cached indexes on this `Arc`'s address and validates entries
+    /// against it with a `Weak`.
+    pub(crate) fn storage_arc(&self) -> &Arc<BTreeSet<Tuple>> {
+        &self.tuples
+    }
+
     fn from_set(arity: usize, tuples: BTreeSet<Tuple>) -> Self {
         Relation {
             arity,
