@@ -1,9 +1,9 @@
-//! Experiment report generator: runs every experiment (E1–E11) once with
+//! Experiment report generator: runs every experiment (E1–E12) once with
 //! wall-clock timing and prints the paper-claim-vs-measured tables that
-//! EXPERIMENTS.md records. E9–E11 additionally write machine-readable
-//! medians (ns per config) to `BENCH_e9.json` / `BENCH_e10.json` /
-//! `BENCH_e11.json` in the current directory — override the paths with
-//! `BENCH_E9_JSON` / `BENCH_E10_JSON` / `BENCH_E11_JSON`.
+//! EXPERIMENTS.md records. E9–E12 additionally write machine-readable
+//! medians (ns per config) to `BENCH_e9.json` … `BENCH_e12.json` in the
+//! current directory — override the paths with `BENCH_E9_JSON` …
+//! `BENCH_E12_JSON`.
 //!
 //! Run with: `cargo run --release -p hypoquery-bench --bin report`
 //! (a debug build measures the same shapes, ~20× slower.)
@@ -18,8 +18,8 @@ use std::time::Instant;
 
 use hypoquery_algebra::{Query, StateExpr};
 use hypoquery_bench::workload::{
-    e1_query, e2_family, e2_state, e3_db, e3_update, e4_db, e4_query, e5_update, e7_query, e9_db,
-    e9_scenarios, rs_join, two_table_db,
+    e12_join_chain, e12_select_chain, e1_query, e2_family, e2_state, e3_db, e3_update, e4_db,
+    e4_query, e5_update, e7_query, e9_db, e9_scenarios, rs_join, two_table_db,
 };
 use hypoquery_core::{
     fully_lazy, lazy_state, red_query, red_state, sub_query, to_enf_query, to_mod_enf, RewriteTrace,
@@ -27,7 +27,7 @@ use hypoquery_core::{
 use hypoquery_eval::{
     algorithm_hql1, algorithm_hql2, algorithm_hql3, eval_pure, filter1, materialize_subst,
 };
-use hypoquery_opt::{optimize, plan, reduce_optimized, PlannedStrategy, Statistics};
+use hypoquery_opt::{lower_query, optimize, plan, reduce_optimized, PlannedStrategy, Statistics};
 use hypoquery_storage::DatabaseState;
 
 /// `HYPOQUERY_BENCH_QUICK` selects the CI smoke configuration.
@@ -85,6 +85,7 @@ fn main() {
     e9();
     e10();
     e11();
+    e12();
 }
 
 fn e1() {
@@ -746,6 +747,90 @@ fn e11() {
     json.push(("point_select_speedup".to_string(), speedup));
     json.push(("branch_index_rebuilds_8x".to_string(), rebuilds as f64));
     let path = std::env::var("BENCH_E11_JSON").unwrap_or_else(|_| "BENCH_e11.json".to_string());
+    let mut out = String::from("{\n");
+    for (i, (config, median)) in json.iter().enumerate() {
+        let comma = if i + 1 < json.len() { "," } else { "" };
+        out.push_str(&format!("  \"{config}\": {median:.1}{comma}\n"));
+    }
+    out.push_str("}\n");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn e12() {
+    println!("## E12 — pipelined physical operators vs materializing walkers");
+    println!("claim: streaming deep select/project/join chains through the");
+    println!("physical operator layer beats (or at worst matches) the legacy");
+    println!("tree-walkers, which materialize a BTreeSet per operator — on the");
+    println!("same prepared query form under lazy, HQL-2, and HQL-3.\n");
+
+    let mut json: Vec<(String, f64)> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let mut bench_ns = |config: &str, reps: usize, f: &mut dyn FnMut() -> usize| -> f64 {
+        let mut samples: Vec<f64> = (0..reps.max(3))
+            .map(|_| {
+                let t = Instant::now();
+                std::hint::black_box(f());
+                t.elapsed().as_secs_f64() * 1e9
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        json.push((config.to_string(), median));
+        median
+    };
+
+    println!("| shape | rows | strategy | legacy | pipelined | speedup |");
+    println!("|:--|---:|:--|---:|---:|---:|");
+    for rows in [scaled(10_000), scaled(100_000)] {
+        let db = two_table_db(rows, rows, rows as i64, 7);
+        let stats = Statistics::of(&db);
+        let u = e5_update(&db, 0.05);
+        for (shape, body) in [
+            ("select_chain", e12_select_chain(8, rows as i64)),
+            ("join_chain", e12_join_chain(6, rows as i64, rows)),
+        ] {
+            let q = body.when(StateExpr::update(u.clone()));
+            let reduced = optimize(&fully_lazy(&q, &mut RewriteTrace::new()), db.catalog()).0;
+            let enf = to_enf_query(&q, &mut RewriteTrace::new());
+            let modq = to_mod_enf(&q).unwrap();
+            for (strat, pq) in [("lazy", &reduced), ("hql2", &enf), ("hql3", &modq)] {
+                let legacy = |pq: &Query| -> usize {
+                    match strat {
+                        "lazy" => eval_pure(pq, &db).unwrap().len(),
+                        "hql2" => algorithm_hql2(pq, &db).unwrap().len(),
+                        _ => algorithm_hql3(pq, &db).unwrap().len(),
+                    }
+                };
+                let phys = lower_query(pq, db.catalog(), &stats).unwrap();
+                // Differential check before timing anything.
+                assert_eq!(phys.execute(&db).unwrap().len(), legacy(pq));
+                let t_legacy = bench_ns(
+                    &format!("{shape}_{strat}_legacy_{rows}"),
+                    reps(7),
+                    &mut || legacy(pq),
+                );
+                let t_pipe = bench_ns(
+                    &format!("{shape}_{strat}_pipelined_{rows}"),
+                    reps(7),
+                    &mut || phys.execute(&db).unwrap().len(),
+                );
+                let speedup = t_legacy / t_pipe;
+                speedups.push((format!("{shape}_{strat}_speedup_{rows}"), speedup));
+                println!(
+                    "| {shape} | {rows} | {strat} | {} | {} | {speedup:.2}× |",
+                    fmt_ns(t_legacy),
+                    fmt_ns(t_pipe)
+                );
+            }
+        }
+    }
+    println!();
+
+    json.extend(speedups);
+    let path = std::env::var("BENCH_E12_JSON").unwrap_or_else(|_| "BENCH_e12.json".to_string());
     let mut out = String::from("{\n");
     for (i, (config, median)) in json.iter().enumerate() {
         let comma = if i + 1 < json.len() { "," } else { "" };

@@ -261,6 +261,40 @@ pub fn e9_scenarios(k: usize) -> Vec<Query> {
         .collect()
 }
 
+/// E12: a depth-`k` chain of alternating range selections over `R`,
+/// shrinking the key window by `key_range/16` per step. Every step keeps
+/// most of the remaining rows, so a materializing tree-walker builds a
+/// large intermediate `BTreeSet` per operator while the pipelined
+/// executor streams the whole chain in one pass.
+pub fn e12_select_chain(k: usize, key_range: i64) -> Query {
+    let step = (key_range / 16).max(1);
+    let mut lo = 0i64;
+    let mut hi = key_range;
+    let mut q = Query::base("R");
+    for i in 0..k {
+        if i % 2 == 0 {
+            lo += step;
+            q = q.select(Predicate::col_cmp(0, CmpOp::Ge, lo));
+        } else {
+            hi -= step;
+            q = q.select(Predicate::col_cmp(0, CmpOp::Lt, hi));
+        }
+    }
+    q
+}
+
+/// E12: the select chain fed into an equi-join with `S`, projected down
+/// to the payload columns, with two more payload filters on top — a
+/// deep mixed select/project/join chain (payloads are dense `0..n`
+/// counters, so the thresholds keep real fractions of the data).
+pub fn e12_join_chain(k: usize, key_range: i64, rows: usize) -> Query {
+    e12_select_chain(k, key_range)
+        .join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2))
+        .project([1, 3])
+        .select(Predicate::col_cmp(0, CmpOp::Lt, (rows as i64) * 7 / 8))
+        .select(Predicate::col_cmp(1, CmpOp::Ge, (rows as i64) / 8))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

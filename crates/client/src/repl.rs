@@ -93,7 +93,9 @@ commands (case-insensitive; most mirror wire verbs):
   query <hql>                             run HQL (honors the current branch)
   table <hql>                             same, rendered with column headers
   update <hql update>                     real at root; auto-branch on a branch
-  explain <hql>                           show the chosen plan/strategy
+  explain [analyze] <hql>                 show the chosen plan/strategy;
+                                          `analyze` runs it and reports
+                                          per-operator rows and time
   constraint <name> <violation query>     register an integrity constraint
   branch <name> [from <parent>] <update>  create a what-if branch
   switch <branch | ->                     enter a branch (`-` = root)
@@ -289,6 +291,9 @@ mod tests {
         assert!(eval(&mut r, "exec fam inv").contains("(4 row(s))"));
         eval(&mut r, "strategy lazy");
         assert!(eval(&mut r, "explain inv when {delete from inv (inv)}").contains("strategy:"));
+        let analyzed = eval(&mut r, "explain analyze inv when {delete from inv (inv)}");
+        assert!(analyzed.contains("physical plan (analyzed):"), "{analyzed}");
+        assert!(analyzed.contains("rows in="), "{analyzed}");
         assert!(eval(&mut r, "-- comment").is_empty());
         assert!(eval(&mut r, "help").contains("branch"));
         assert!(r.eval("nonsense").is_err());

@@ -10,8 +10,10 @@ use hypoquery_storage::{Catalog, DatabaseState, RelName, RelSchema, Relation, Tu
 use hypoquery_algebra::typing::{arity_of, check_update};
 use hypoquery_algebra::{Query, Update};
 use hypoquery_core::{fully_lazy, to_enf_query, to_mod_enf, RewriteTrace};
-use hypoquery_eval::{algorithm_hql1, algorithm_hql2, algorithm_hql3, eval_pure, eval_update};
-use hypoquery_opt::{optimize, plan, Plan, PlannedStrategy, Statistics};
+use hypoquery_eval::{
+    algorithm_hql1, algorithm_hql2, algorithm_hql3, eval_pure, eval_update, ExecMetrics, PhysPlan,
+};
+use hypoquery_opt::{lower_plan, lower_query, optimize, plan, Plan, PlannedStrategy, Statistics};
 use hypoquery_parser::{parse_query_named, parse_update_named};
 
 use crate::error::EngineError;
@@ -237,12 +239,56 @@ impl Database {
     }
 
     /// Run an already-built query AST.
+    ///
+    /// Every strategy executes through the pipelined physical layer: the
+    /// strategy only decides the logical *shape* the query is normalized
+    /// into (pure / ENF / mod-ENF), which [`hypoquery_opt::lower`] then
+    /// compiles onto the one operator set of
+    /// [`hypoquery_eval::physical`]. The retired per-strategy tree
+    /// walkers remain available as [`Database::execute_legacy`], the
+    /// differential-testing oracle.
     pub fn execute(&self, q: &Query, strategy: Strategy) -> Result<Relation, EngineError> {
+        arity_of(q, self.state.catalog())?;
+        if strategy == Strategy::Auto {
+            let p = self.plan_query(q);
+            return self.execute_plan(&p);
+        }
+        let prepared = self.prepare_strategy_query(q, strategy)?;
+        let stats = Statistics::of(&self.state);
+        let phys = lower_query(&prepared, self.state.catalog(), &stats)?;
+        Ok(phys.execute(&self.state)?)
+    }
+
+    /// Normalize `q` into the logical shape `strategy` executes:
+    /// optimized pure RA for lazy, ENF for HQL-1/HQL-2 (whose plans are
+    /// identical — the two algorithms differ only in interpreter
+    /// traversal order, which has no physical counterpart), mod-ENF for
+    /// the delta strategy.
+    fn prepare_strategy_query(&self, q: &Query, strategy: Strategy) -> Result<Query, EngineError> {
+        Ok(match strategy {
+            Strategy::Auto | Strategy::Lazy => {
+                let reduced = fully_lazy(q, &mut RewriteTrace::new());
+                optimize(&reduced, self.state.catalog()).0
+            }
+            Strategy::Hql1 | Strategy::Hql2 => to_enf_query(q, &mut RewriteTrace::new()),
+            Strategy::Delta => to_mod_enf(q)?,
+        })
+    }
+
+    /// Run an already-built query AST through the **legacy** recursive
+    /// tree-walking evaluators (`eval_pure`, `filter1`/`filter2`/
+    /// `filter3`), which materialize a relation at every node.
+    ///
+    /// Kept as the differential oracle: the proptests in
+    /// `crates/eval/tests/physical_consistency.rs` and
+    /// `crates/engine/tests/` assert the pipelined default path agrees
+    /// with this one on every strategy.
+    pub fn execute_legacy(&self, q: &Query, strategy: Strategy) -> Result<Relation, EngineError> {
         arity_of(q, self.state.catalog())?;
         match strategy {
             Strategy::Auto => {
                 let p = self.plan_query(q);
-                self.execute_plan(&p)
+                self.execute_plan_legacy(&p)
             }
             Strategy::Lazy => {
                 let reduced = fully_lazy(q, &mut RewriteTrace::new());
@@ -302,8 +348,18 @@ impl Database {
         plan(q, self.state.catalog(), &stats)
     }
 
-    /// Execute a previously produced plan.
+    /// Execute a previously produced plan: lower it to the pipelined
+    /// physical operator layer and run it. Every
+    /// [`PlannedStrategy`] goes through the same executor.
     pub fn execute_plan(&self, p: &Plan) -> Result<Relation, EngineError> {
+        let phys = self.physical_plan(p)?;
+        Ok(phys.execute(&self.state)?)
+    }
+
+    /// Execute a previously produced plan through the legacy tree
+    /// walkers (the differential oracle; see
+    /// [`Database::execute_legacy`]).
+    pub fn execute_plan_legacy(&self, p: &Plan) -> Result<Relation, EngineError> {
         match p.strategy {
             PlannedStrategy::Lazy => Ok(eval_pure(&p.query, &self.state)?),
             PlannedStrategy::EagerXsub | PlannedStrategy::Hybrid => {
@@ -311,6 +367,14 @@ impl Database {
             }
             PlannedStrategy::EagerDelta => Ok(algorithm_hql3(&p.query, &self.state)?),
         }
+    }
+
+    /// Lower a plan to its physical form against the current state's
+    /// statistics (access paths depend on declared indexes and estimated
+    /// cardinalities).
+    pub fn physical_plan(&self, p: &Plan) -> Result<PhysPlan, EngineError> {
+        let stats = Statistics::of(&self.state);
+        Ok(lower_plan(p, self.state.catalog(), &stats)?)
     }
 
     /// `EXPLAIN`: the chosen plan, its candidates and rewrite traces,
@@ -325,24 +389,53 @@ impl Database {
     pub fn explain_query(&self, q: &Query) -> Result<String, EngineError> {
         arity_of(q, self.state.catalog())?;
         let p = self.plan_query(q);
+        let phys = self.physical_plan(&p)?;
         let mut out = String::new();
         use std::fmt::Write;
         let _ = writeln!(out, "query: {q}");
+        // `Plan`'s Display covers strategy, candidates, and both rewrite
+        // traces (EQUIV_when + RA).
         let _ = writeln!(out, "{p}");
-        if !p.when_trace.steps.is_empty() {
-            let _ = writeln!(
-                out,
-                "EQUIV_when rewrites applied: {}",
-                p.when_trace.steps.len()
-            );
-        }
-        if p.ra_trace.total() > 0 {
-            let _ = writeln!(out, "RA rewrites applied:");
-            for (rule, n) in &p.ra_trace.counts {
-                let _ = writeln!(out, "  {rule} × {n}");
-            }
-        }
+        let _ = writeln!(out, "physical plan:");
+        out.push_str(&phys.render(None));
         Ok(out)
+    }
+
+    /// `EXPLAIN ANALYZE`: run the query through the pipelined executor
+    /// with full instrumentation and render the physical plan with
+    /// per-operator rows-in/rows-out and exclusive elapsed time.
+    pub fn explain_analyze(&self, src: &str) -> Result<String, EngineError> {
+        let q = self.prepare(src)?;
+        self.explain_analyze_query(&q)
+    }
+
+    /// AST form of [`Database::explain_analyze`], for callers that wrap
+    /// queries before planning (e.g. a what-if branch).
+    pub fn explain_analyze_query(&self, q: &Query) -> Result<String, EngineError> {
+        arity_of(q, self.state.catalog())?;
+        let p = self.plan_query(q);
+        let phys = self.physical_plan(&p)?;
+        let (rel, metrics) = phys.execute_analyze(&self.state)?;
+        Ok(Self::render_analyze(&p, &phys, &metrics, rel.len()))
+    }
+
+    fn render_analyze(p: &Plan, phys: &PhysPlan, metrics: &ExecMetrics, rows: usize) -> String {
+        let mut out = String::new();
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "strategy: {} (est. cost {:.1})",
+            p.strategy, p.est_cost
+        );
+        let _ = writeln!(out, "physical plan (analyzed):");
+        out.push_str(&phys.render(Some(metrics)));
+        let _ = writeln!(
+            out,
+            "result: {rows} row(s); operators: {}; total operator time: {:?}",
+            metrics.len(),
+            metrics.total_elapsed()
+        );
+        out
     }
 
     /// Parse, type-check, and apply an update to the **real** state,
@@ -625,6 +718,48 @@ mod tests {
             .unwrap();
         assert!(s.contains("strategy:"), "{s}");
         assert!(s.contains("candidate"), "{s}");
+        // The lowered operator tree and the Fig. 1 rewrite path are part
+        // of EXPLAIN now.
+        assert!(s.contains("physical plan:"), "{s}");
+        assert!(s.contains("Scan emp") || s.contains("DeltaApply") || s.contains("XsubRebind"));
+        assert!(s.contains("EQUIV_when rewrites:"), "{s}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_per_operator_rows_and_time() {
+        let db = db();
+        let s = db
+            .explain_analyze("emp when {insert into emp (select #1 > 100 (emp))}")
+            .unwrap();
+        assert!(s.contains("physical plan (analyzed):"), "{s}");
+        assert!(s.contains("rows in="), "{s}");
+        assert!(s.contains("time="), "{s}");
+        assert!(s.contains("result:"), "{s}");
+    }
+
+    #[test]
+    fn all_strategies_match_legacy_oracle_on_examples() {
+        let db = db();
+        let sources = [
+            "emp",
+            "select #1 > 100 (emp)",
+            "emp when {insert into emp (select #1 > 100 (emp))}",
+            "emp when {delete from emp (select #0 = 1 (emp))}",
+        ];
+        for src in sources {
+            let q = db.prepare(src).unwrap();
+            for strat in [
+                Strategy::Auto,
+                Strategy::Lazy,
+                Strategy::Hql1,
+                Strategy::Hql2,
+                Strategy::Delta,
+            ] {
+                let new = db.execute(&q, strat).unwrap();
+                let old = db.execute_legacy(&q, strat).unwrap();
+                assert_eq!(new, old, "{src} under {strat:?}");
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod filter1;
 pub mod filter2;
 pub mod filter3;
 pub mod join;
+pub mod physical;
 pub mod xsub;
 
 pub use access::{indexed_select, point_eq_conjuncts, prepare_join_index};
@@ -39,4 +40,5 @@ pub use exec::{num_workers, parallel_map, try_parallel_map};
 pub use filter1::{algorithm_hql1, filter1};
 pub use filter2::{algorithm_hql2, eval_filter_x, filter2};
 pub use filter3::{algorithm_hql3, filter3};
+pub use physical::{DeltaAtom, ExecMetrics, OpStats, PhysNode, PhysOp, PhysPlan, Side};
 pub use xsub::{materialize_subst, XsubValue};

@@ -14,12 +14,14 @@
 #![warn(missing_docs)]
 
 pub mod implication;
+pub mod lower;
 pub mod planner;
 pub mod reduce;
 pub mod rewrite;
 pub mod stats;
 
 pub use implication::{pred_implies, pred_unsat};
+pub use lower::{lower_plan, lower_query};
 pub use planner::{plan, Plan, PlannedStrategy};
 pub use reduce::reduce_optimized;
 pub use rewrite::{optimize, RaTrace};

@@ -1,0 +1,490 @@
+//! Lowering: logical queries → executable [`PhysPlan`]s.
+//!
+//! This is the bridge between the planner's strategy choice and the
+//! pipelined executor of [`hypoquery_eval::physical`]. Each
+//! [`PlannedStrategy`](crate::planner::PlannedStrategy) prepares the
+//! query into a different *shape* — pure RA for lazy, ENF (`when ε`
+//! only) for eager-xsub/hybrid, mod-ENF (`when {U}` with atomic-update
+//! sequences) for eager-delta — but the lowering is shape-agnostic: it
+//! walks whatever it is given and emits the one physical operator set,
+//! turning `when ε` into [`PhysOp::XsubRebind`] and `when {U}` into
+//! [`PhysOp::DeltaApply`]. HQL-1 and HQL-2 therefore lower to
+//! *identical* plans: their difference (node-at-a-time vs. clustered
+//! traversal) is interpreter bookkeeping with no physical counterpart.
+//!
+//! # Access-path selection
+//!
+//! The lowering reuses the same gates the legacy evaluators applied at
+//! runtime, but applies them *statically*:
+//!
+//! * a `Select` directly over a base scan becomes an
+//!   [`PhysOp::IndexProbe`] when the predicate carries a point-equality
+//!   conjunct ([`point_eq_conjuncts`]) on a declared indexed column and
+//!   the scanned name is provably unrebound (see below);
+//! * a `Join` side that is an unrebound base scan with declared indexes
+//!   on all its equi columns becomes the probed side of an
+//!   [`PhysOp::IndexJoin`]; with both sides qualifying the *larger*
+//!   (estimated) side is indexed, leaving the smaller to stream — the
+//!   same policy as [`hypoquery_eval::access::prepare_join_index`];
+//! * otherwise joins hash-build the smaller (estimated) side, mirroring
+//!   the cost model's probe/scan decisions in
+//!   [`crate::stats::estimate_cost`].
+//!
+//! **Shadow analysis.** A base name may only use a stored index if, at
+//! runtime, the scan resolves to the stored base relation. During
+//! lowering we track the set of names bound by each enclosing
+//! `XsubRebind`/`DeltaApply` wrapper; a name in neither set is
+//! *guaranteed* unrebound in every execution (wrappers only ever add
+//! their statically-known domains to the environment), so gating on
+//! these sets is sound — the static analogue of the `e.get(name)`
+//! checks inside `filter1`/`eval_filter_d`.
+//!
+//! Duplicate semantics: streamed segments may carry duplicates (set
+//! semantics are restored at pipeline breakers); where a duplicate
+//! stream would multiply join work, the lowering inserts an explicit
+//! [`PhysOp::Dedup`].
+
+use hypoquery_storage::Catalog;
+
+use hypoquery_algebra::scope::NameSet;
+use hypoquery_algebra::{Query, StateExpr, Update};
+
+use hypoquery_eval::access::point_eq_conjuncts;
+use hypoquery_eval::join::split_equi_pairs;
+use hypoquery_eval::physical::{DeltaAtom, PhysNode, PhysOp, PhysPlan, Side};
+use hypoquery_eval::EvalError;
+
+use crate::planner::Plan;
+use crate::stats::{estimate_rows, Statistics};
+
+/// Lower a planned query to a physical plan. The plan's query is
+/// already in the shape its strategy prepared (pure / ENF / mod-ENF);
+/// the lowering handles all of them uniformly.
+pub fn lower_plan(p: &Plan, catalog: &Catalog, stats: &Statistics) -> Result<PhysPlan, EvalError> {
+    lower_query(&p.query, catalog, stats)
+}
+
+/// Lower any normalized query (pure, ENF, or mod-ENF — `when` bodies
+/// must be explicit substitutions or atomic-update sequences) to a
+/// physical plan.
+pub fn lower_query(
+    q: &Query,
+    catalog: &Catalog,
+    stats: &Statistics,
+) -> Result<PhysPlan, EvalError> {
+    let lw = Lowerer { catalog, stats };
+    let root = lw.lower(q, &Shadow::default())?;
+    Ok(PhysPlan::new(root))
+}
+
+/// Names that an enclosing hypothetical wrapper may rebind at runtime.
+#[derive(Clone, Default)]
+struct Shadow {
+    xsub: NameSet,
+    delta: NameSet,
+}
+
+impl Shadow {
+    fn unshadowed(&self, name: &hypoquery_storage::RelName) -> bool {
+        !self.xsub.contains(name) && !self.delta.contains(name)
+    }
+}
+
+struct Lowerer<'a> {
+    catalog: &'a Catalog,
+    stats: &'a Statistics,
+}
+
+impl Lowerer<'_> {
+    fn lower(&self, q: &Query, sh: &Shadow) -> Result<PhysNode, EvalError> {
+        match q {
+            Query::Base(name) => {
+                let arity = self.catalog.arity(name)?;
+                Ok(PhysNode::new(arity, PhysOp::Scan { name: name.clone() }))
+            }
+            Query::Singleton(t) => Ok(PhysNode::new(
+                t.arity(),
+                PhysOp::Const {
+                    rel: hypoquery_storage::Relation::singleton(t.clone()),
+                },
+            )),
+            Query::Empty { arity } => Ok(PhysNode::new(
+                *arity,
+                PhysOp::Const {
+                    rel: hypoquery_storage::Relation::empty(*arity),
+                },
+            )),
+            Query::Select(inner, p) => {
+                // Index probe: point-equality over a declared index of an
+                // unrebound base scan (the static form of
+                // `eval::access::indexed_select`'s runtime gate).
+                if let Query::Base(name) = inner.as_ref() {
+                    if sh.unshadowed(name) {
+                        if let Some((col, value)) = point_eq_conjuncts(p)
+                            .into_iter()
+                            .find(|(c, _)| self.stats.has_index(name, *c))
+                        {
+                            let arity = self.catalog.arity(name)?;
+                            return Ok(PhysNode::new(
+                                arity,
+                                PhysOp::IndexProbe {
+                                    name: name.clone(),
+                                    col,
+                                    value,
+                                    pred: p.clone(),
+                                },
+                            ));
+                        }
+                    }
+                }
+                let input = self.lower(inner, sh)?;
+                Ok(PhysNode::new(
+                    input.arity,
+                    PhysOp::Filter {
+                        input: Box::new(input),
+                        pred: p.clone(),
+                    },
+                ))
+            }
+            Query::Project(inner, cols) => {
+                let input = self.lower(inner, sh)?;
+                if let Some(&bad) = cols.iter().find(|&&c| c >= input.arity) {
+                    return Err(EvalError::UnsupportedShape(format!(
+                        "projection column #{bad} out of range for arity {}",
+                        input.arity
+                    )));
+                }
+                Ok(PhysNode::new(
+                    cols.len(),
+                    PhysOp::Project {
+                        input: Box::new(input),
+                        cols: cols.clone(),
+                    },
+                ))
+            }
+            Query::Union(a, b) => {
+                self.lower_setop(a, b, sh, |l, r| PhysOp::Union { left: l, right: r })
+            }
+            Query::Intersect(a, b) => {
+                self.lower_setop(a, b, sh, |l, r| PhysOp::Intersect { left: l, right: r })
+            }
+            Query::Diff(a, b) => {
+                self.lower_setop(a, b, sh, |l, r| PhysOp::Diff { left: l, right: r })
+            }
+            Query::Product(a, b) => self.lower_join(a, b, None, sh),
+            Query::Join(a, b, p) => self.lower_join(a, b, Some(p), sh),
+            Query::When(body, eta) => self.lower_when(body, eta, sh),
+            Query::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let input = self.lower(input, sh)?;
+                Ok(PhysNode::new(
+                    group_by.len() + aggs.len(),
+                    PhysOp::Aggregate {
+                        input: Box::new(input),
+                        group_by: group_by.clone(),
+                        aggs: aggs.clone(),
+                    },
+                ))
+            }
+        }
+    }
+
+    fn lower_setop(
+        &self,
+        a: &Query,
+        b: &Query,
+        sh: &Shadow,
+        make: impl FnOnce(Box<PhysNode>, Box<PhysNode>) -> PhysOp,
+    ) -> Result<PhysNode, EvalError> {
+        let l = self.lower(a, sh)?;
+        let r = self.lower(b, sh)?;
+        if l.arity != r.arity {
+            return Err(EvalError::UnsupportedShape(format!(
+                "set operation over mismatched arities {} and {}",
+                l.arity, r.arity
+            )));
+        }
+        let arity = l.arity;
+        Ok(PhysNode::new(arity, make(Box::new(l), Box::new(r))))
+    }
+
+    /// Lower a join (`pred = None` for a plain product): pick index
+    /// nested-loop when an unrebound indexed base scan qualifies, else a
+    /// hash join building the smaller estimated side.
+    fn lower_join(
+        &self,
+        a: &Query,
+        b: &Query,
+        pred: Option<&hypoquery_algebra::Predicate>,
+        sh: &Shadow,
+    ) -> Result<PhysNode, EvalError> {
+        let l = self.lower(a, sh)?;
+        let r = self.lower(b, sh)?;
+        let arity = l.arity + r.arity;
+        let (pairs, residual) = match pred {
+            Some(p) => split_equi_pairs(p, l.arity),
+            None => (Vec::new(), Vec::new()),
+        };
+        let est_l = estimate_rows(a, self.stats);
+        let est_r = estimate_rows(b, self.stats);
+
+        if !pairs.is_empty() {
+            // A side qualifies for an index nested-loop when it is an
+            // unrebound base scan with every equi column declared.
+            let qualifies = |q: &Query, cols: &[usize]| -> bool {
+                match q {
+                    Query::Base(name) => {
+                        sh.unshadowed(name) && cols.iter().all(|&c| self.stats.has_index(name, c))
+                    }
+                    _ => false,
+                }
+            };
+            let left_cols: Vec<usize> = pairs.iter().map(|p| p.left).collect();
+            let right_cols: Vec<usize> = pairs.iter().map(|p| p.right).collect();
+            let left_ok = qualifies(a, &left_cols);
+            let right_ok = qualifies(b, &right_cols);
+            // With both sides indexed, probe the larger (same policy as
+            // `prepare_join_index`): only the smaller side streams.
+            let index_left = left_ok && (!right_ok || est_l >= est_r);
+            if index_left || right_ok {
+                let (rel, index_cols, probe_cols, probe, probe_side) = if index_left {
+                    let Query::Base(name) = a else { unreachable!() };
+                    (name.clone(), left_cols, right_cols, r, Side::Right)
+                } else {
+                    let Query::Base(name) = b else { unreachable!() };
+                    (name.clone(), right_cols, left_cols, l, Side::Left)
+                };
+                return Ok(PhysNode::new(
+                    arity,
+                    PhysOp::IndexJoin {
+                        probe: Box::new(dedup_if_dup_stream(probe)),
+                        probe_side,
+                        rel,
+                        index_cols,
+                        probe_cols,
+                        residual,
+                    },
+                ));
+            }
+        }
+
+        // Hash join / nested loop: materialize the smaller estimated
+        // side (ties keep the legacy build-on-right default).
+        let build = if est_l < est_r {
+            Side::Left
+        } else {
+            Side::Right
+        };
+        Ok(PhysNode::new(
+            arity,
+            PhysOp::HashJoin {
+                left: Box::new(dedup_if_dup_stream(l)),
+                right: Box::new(dedup_if_dup_stream(r)),
+                pairs,
+                residual,
+                build,
+            },
+        ))
+    }
+
+    fn lower_when(
+        &self,
+        body: &Query,
+        eta: &StateExpr,
+        sh: &Shadow,
+    ) -> Result<PhysNode, EvalError> {
+        match eta {
+            StateExpr::Subst(eps) => {
+                // Bindings are evaluated under the *current* environment
+                // (filter1's rule), so they lower under the current
+                // shadow; only the body sees the new names.
+                let mut bindings = Vec::with_capacity(eps.len());
+                for (name, q) in eps.iter() {
+                    bindings.push((name.clone(), self.lower(q, sh)?));
+                }
+                let mut inner = sh.clone();
+                inner.xsub.extend(eps.names().cloned());
+                let body = self.lower(body, &inner)?;
+                Ok(PhysNode::new(
+                    body.arity,
+                    PhysOp::XsubRebind {
+                        bindings,
+                        body: Box::new(body),
+                    },
+                ))
+            }
+            StateExpr::Update(u) if u.is_atomic_sequence() => {
+                let mut atoms = Vec::new();
+                let mut inner = sh.clone();
+                for atom in u.flatten() {
+                    let (name, src, insert) = match atom {
+                        Update::Insert(name, q) => (name, q, true),
+                        Update::Delete(name, q) => (name, q, false),
+                        _ => unreachable!("flatten() of an atomic sequence yields atoms"),
+                    };
+                    // The atom's source sees the deltas of *earlier*
+                    // atoms (filter3's Seq rule), so lower it under the
+                    // shadow accumulated so far, then extend.
+                    let input = self.lower(src, &inner)?;
+                    inner.delta.insert(name.clone());
+                    atoms.push(DeltaAtom {
+                        name: name.clone(),
+                        insert,
+                        input,
+                    });
+                }
+                let body = self.lower(body, &inner)?;
+                Ok(PhysNode::new(
+                    body.arity,
+                    PhysOp::DeltaApply {
+                        atoms,
+                        body: Box::new(body),
+                    },
+                ))
+            }
+            _ => Err(EvalError::UnsupportedShape(format!(
+                "cannot lower `when {eta}`: normalize to ENF (explicit substitution) \
+                 or mod-ENF (atomic-update sequence) first"
+            ))),
+        }
+    }
+}
+
+/// Wrap `node` in a [`PhysOp::Dedup`] when its output stream may carry
+/// duplicates that would multiply downstream join work.
+fn dedup_if_dup_stream(node: PhysNode) -> PhysNode {
+    match node.op {
+        PhysOp::Project { .. } | PhysOp::Union { .. } => {
+            let arity = node.arity;
+            PhysNode::new(
+                arity,
+                PhysOp::Dedup {
+                    input: Box::new(node),
+                },
+            )
+        }
+        _ => node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypoquery_algebra::{CmpOp, Predicate};
+    use hypoquery_eval::eval_query;
+    use hypoquery_storage::{tuple, DatabaseState};
+
+    fn db() -> DatabaseState {
+        let mut cat = Catalog::new();
+        cat.declare_arity("R", 2).unwrap();
+        cat.declare_arity("S", 2).unwrap();
+        let mut db = DatabaseState::new(cat);
+        db.insert_rows("R", [tuple![1, 10], tuple![2, 20], tuple![3, 30]])
+            .unwrap();
+        db.insert_rows("S", [tuple![2, 200], tuple![3, 300]])
+            .unwrap();
+        db
+    }
+
+    fn lower_in(db: &DatabaseState, q: &Query) -> PhysPlan {
+        lower_query(q, db.catalog(), &Statistics::of(db)).unwrap()
+    }
+
+    #[test]
+    fn point_select_lowers_to_index_probe_when_declared() {
+        let mut db = db();
+        let q = Query::base("R").select(Predicate::col_cmp(0, CmpOp::Eq, 2));
+        let plan = lower_in(&db, &q);
+        assert!(matches!(plan.root.op, PhysOp::Filter { .. }));
+
+        db.declare_index("R", 0).unwrap();
+        let plan = lower_in(&db, &q);
+        assert!(matches!(plan.root.op, PhysOp::IndexProbe { .. }));
+        let out = plan.execute(&db).unwrap();
+        assert_eq!(out, eval_query(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn shadowed_scan_never_probes_an_index() {
+        let mut db = db();
+        db.declare_index("R", 0).unwrap();
+        // R is rebound by the substitution, so σ over it must not touch
+        // the stored index.
+        let sel = Query::base("R").select(Predicate::col_cmp(0, CmpOp::Eq, 2));
+        let q = sel
+            .clone()
+            .when(StateExpr::subst(hypoquery_algebra::ExplicitSubst::single(
+                "R",
+                Query::base("S"),
+            )));
+        let plan = lower_in(&db, &q);
+        let PhysOp::XsubRebind { body, .. } = &plan.root.op else {
+            panic!("expected XsubRebind root, got {:?}", plan.root.op);
+        };
+        assert!(matches!(body.op, PhysOp::Filter { .. }));
+        // The unshadowed S *binding* under the same plan may still probe.
+        let out = plan.execute(&db).unwrap();
+        assert_eq!(out, eval_query(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn join_uses_declared_index_side() {
+        let mut db = db();
+        db.declare_index("S", 0).unwrap();
+        let q = Query::base("R").join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2));
+        let plan = lower_in(&db, &q);
+        let PhysOp::IndexJoin {
+            probe_side, rel, ..
+        } = &plan.root.op
+        else {
+            panic!("expected IndexJoin, got {:?}", plan.root.op);
+        };
+        assert_eq!(*probe_side, Side::Left);
+        assert_eq!(rel.as_str(), "S");
+        let out = plan.execute(&db).unwrap();
+        assert_eq!(out, eval_query(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn when_update_lowers_to_delta_apply() {
+        let db = db();
+        let q = Query::base("R")
+            .union(Query::base("S"))
+            .when(StateExpr::update(Update::insert(
+                "R",
+                Query::base("S").select(Predicate::col_cmp(0, CmpOp::Gt, 2)),
+            )));
+        let plan = lower_in(&db, &q);
+        assert!(matches!(plan.root.op, PhysOp::DeltaApply { .. }));
+        let out = plan.execute(&db).unwrap();
+        assert_eq!(out, eval_query(&q, &db).unwrap());
+    }
+
+    #[test]
+    fn composition_is_rejected() {
+        let db = db();
+        let eta = StateExpr::update(Update::insert("R", Query::base("S")))
+            .compose(StateExpr::update(Update::delete("S", Query::base("S"))));
+        let q = Query::base("R").when(eta);
+        assert!(matches!(
+            lower_query(&q, db.catalog(), &Statistics::of(&db)),
+            Err(EvalError::UnsupportedShape(_))
+        ));
+    }
+
+    #[test]
+    fn projected_join_side_gets_dedup() {
+        let db = db();
+        let q = Query::base("R").project(vec![0]).product(Query::base("S"));
+        let plan = lower_in(&db, &q);
+        let PhysOp::HashJoin { left, .. } = &plan.root.op else {
+            panic!("expected HashJoin, got {:?}", plan.root.op);
+        };
+        assert!(matches!(left.op, PhysOp::Dedup { .. }));
+        let out = plan.execute(&db).unwrap();
+        assert_eq!(out, eval_query(&q, &db).unwrap());
+    }
+}

@@ -84,6 +84,32 @@ impl fmt::Display for Plan {
         for (s, c) in &self.candidates {
             writeln!(f, "  candidate {s}: est. cost {c:.1}")?;
         }
+        // The Fig. 1 rewrite path: EQUIV_when steps aggregated per rule
+        // (in first-use order), then RA rewrite counts.
+        if !self.when_trace.steps.is_empty() {
+            let mut by_rule: Vec<(&'static str, usize)> = Vec::new();
+            for step in &self.when_trace.steps {
+                let name = step.rule.name();
+                match by_rule.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, c)) => *c += 1,
+                    None => by_rule.push((name, 1)),
+                }
+            }
+            writeln!(
+                f,
+                "EQUIV_when rewrites: {} step(s)",
+                self.when_trace.steps.len()
+            )?;
+            for (name, c) in by_rule {
+                writeln!(f, "  {name} \u{d7} {c}")?;
+            }
+        }
+        if self.ra_trace.total() > 0 {
+            writeln!(f, "RA rewrites: {} step(s)", self.ra_trace.total())?;
+            for (name, c) in &self.ra_trace.counts {
+                writeln!(f, "  {name} \u{d7} {c}")?;
+            }
+        }
         write!(f, "plan: {}", self.query)
     }
 }
@@ -276,6 +302,24 @@ mod tests {
         let s = p.to_string();
         assert!(s.contains("strategy:"));
         assert!(s.contains("candidate"));
+    }
+
+    #[test]
+    fn plan_display_renders_rewrite_traces() {
+        let p = plan(&hypo_query(3), &catalog(), &stats(100.0, 100.0));
+        let s = p.to_string();
+        // Normalizing a hypothetical query always takes EQUIV_when steps;
+        // each recorded rule shows up with its step count.
+        assert!(!p.when_trace.steps.is_empty());
+        assert!(
+            s.contains("EQUIV_when rewrites:"),
+            "missing when trace:\n{s}"
+        );
+        let first_rule = p.when_trace.steps[0].rule.name();
+        assert!(s.contains(first_rule), "missing rule `{first_rule}`:\n{s}");
+        if p.ra_trace.total() > 0 {
+            assert!(s.contains("RA rewrites:"), "missing RA trace:\n{s}");
+        }
     }
 
     #[test]

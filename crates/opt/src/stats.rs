@@ -72,9 +72,16 @@ impl Statistics {
         }
     }
 
-    /// Cardinality of a base relation (0 if unknown).
+    /// Cardinality of a base relation (0 if unknown). Sanitized: a
+    /// non-finite or negative stored value (possible with hand-built
+    /// [`Statistics::from_cards`]) reads as 0.
     pub fn card(&self, name: &RelName) -> f64 {
-        self.cards.get(name).copied().unwrap_or(0.0)
+        let c = self.cards.get(name).copied().unwrap_or(0.0);
+        if c.is_finite() {
+            c.max(0.0)
+        } else {
+            0.0
+        }
     }
 
     /// Declared arity of a base relation, if known.
@@ -118,7 +125,7 @@ impl Statistics {
 /// falling back to the flat [`SEL_EQ`] constant otherwise. With `base`
 /// `None` this is exactly [`selectivity`].
 pub fn selectivity_over(p: &Predicate, base: Option<&RelName>, stats: &Statistics) -> f64 {
-    match p {
+    clamp01(match p {
         Predicate::And(a, b) => selectivity_over(a, base, stats) * selectivity_over(b, base, stats),
         Predicate::Or(a, b) => {
             let (sa, sb) = (
@@ -134,12 +141,12 @@ pub fn selectivity_over(p: &Predicate, base: Option<&RelName>, stats: &Statistic
             .map(|d| (1.0 / d.max(1.0)).min(1.0))
             .unwrap_or(SEL_EQ),
         other => selectivity(other),
-    }
+    })
 }
 
 /// Estimated selectivity of a predicate.
 pub fn selectivity(p: &Predicate) -> f64 {
-    match p {
+    clamp01(match p {
         Predicate::True => 1.0,
         Predicate::False => 0.0,
         Predicate::Cmp(_, CmpOp::Eq, _) => SEL_EQ,
@@ -151,6 +158,41 @@ pub fn selectivity(p: &Predicate) -> f64 {
             (sa + sb - sa * sb).min(1.0)
         }
         Predicate::Not(a) => 1.0 - selectivity(a),
+    })
+}
+
+/// Clamp a selectivity into `[0, 1]`; non-finite values (conceivable
+/// only with degenerate injected statistics) read as 1 — "no filtering
+/// knowledge", the conservative choice.
+fn clamp01(s: f64) -> f64 {
+    if s.is_finite() {
+        s.clamp(0.0, 1.0)
+    } else {
+        1.0
+    }
+}
+
+/// Final guard for row estimates: never negative, never NaN (reads as
+/// 0 — an estimate derived from nothing), `+∞` capped to `f64::MAX` so
+/// downstream arithmetic stays ordered under `total_cmp`.
+fn sanitize_rows(r: f64) -> f64 {
+    if r.is_nan() {
+        0.0
+    } else if r == f64::INFINITY {
+        f64::MAX
+    } else {
+        r.max(0.0)
+    }
+}
+
+/// Final guard for cost estimates: never negative; NaN/`+∞` read as
+/// `f64::MAX` so an un-costable candidate loses every comparison
+/// instead of winning it by NaN ordering.
+fn sanitize_cost(c: f64) -> f64 {
+    if !c.is_finite() {
+        f64::MAX
+    } else {
+        c.max(0.0)
     }
 }
 
@@ -161,7 +203,7 @@ pub fn selectivity(p: &Predicate) -> f64 {
 /// expression are re-estimated from the binding/update shape — coarse, but
 /// monotone in the base sizes, which is all the planner relies on.
 pub fn estimate_rows(q: &Query, stats: &Statistics) -> f64 {
-    match q {
+    sanitize_rows(match q {
         Query::Base(name) => stats.card(name),
         Query::Singleton(_) => 1.0,
         Query::Empty { .. } => 0.0,
@@ -213,7 +255,7 @@ pub fn estimate_rows(q: &Query, stats: &Statistics) -> f64 {
                 n.sqrt().max(1.0).min(n)
             }
         }
-    }
+    })
 }
 
 /// Re-estimate base cardinalities under a hypothetical state expression.
@@ -318,14 +360,14 @@ fn query_arity(q: &Query, stats: &Statistics) -> Option<usize> {
 /// indexed on the full equi-core skips the hash build and iterates only
 /// the other side. Without index declarations the model is unchanged.
 pub fn estimate_cost(q: &Query, stats: &Statistics) -> f64 {
-    match q {
+    sanitize_cost(match q {
         Query::Base(name) => stats.card(name),
         Query::Singleton(_) | Query::Empty { .. } => 1.0,
         Query::Select(inner, p) => {
             if let Query::Base(name) = &**inner {
                 if point_eq_cols(p).iter().any(|c| stats.has_index(name, *c)) {
                     // Index probe: pay for the matching rows only.
-                    return estimate_rows(q, stats).max(1.0);
+                    return sanitize_cost(estimate_rows(q, stats).max(1.0));
                 }
             }
             estimate_cost(inner, stats) + estimate_rows(inner, stats)
@@ -362,7 +404,7 @@ pub fn estimate_cost(q: &Query, stats: &Statistics) -> f64 {
                             (true, false) => rb,
                             _ => ra,
                         };
-                        return ca + cb + probe + out;
+                        return sanitize_cost(ca + cb + probe + out);
                     }
                 }
             }
@@ -376,7 +418,7 @@ pub fn estimate_cost(q: &Query, stats: &Statistics) -> f64 {
             estimate_cost(inner, &adjusted) + state_materialization_cost(eta, stats)
         }
         Query::Aggregate { input, .. } => estimate_cost(input, stats) + estimate_rows(input, stats),
-    }
+    })
 }
 
 /// Estimated cost of materializing a state expression (the eager
@@ -579,5 +621,76 @@ mod tests {
         let c = state_materialization_cost(&e1.clone().compose(e2.clone()), &st);
         assert!(c >= state_materialization_cost(&e1, &st));
         assert!(c >= state_materialization_cost(&e2, &st));
+    }
+
+    /// A handful of query shapes that exercise every cost-model branch.
+    fn probe_queries() -> Vec<Query> {
+        let point = Query::base("R").select(Predicate::col_cmp(0, CmpOp::Eq, 1));
+        let join = Query::base("R").join(Query::base("S"), Predicate::col_col(0, CmpOp::Eq, 2));
+        let noteq = Query::base("R").select(
+            Predicate::col_cmp(0, CmpOp::Eq, 1)
+                .or(Predicate::col_cmp(1, CmpOp::Lt, 5))
+                .not(),
+        );
+        let agg = Query::base("R").aggregate(vec![0], vec![hypoquery_algebra::AggExpr::Count]);
+        let when = Query::base("R").when(StateExpr::update(Update::delete(
+            "R",
+            Query::base("R").select(Predicate::col_cmp(0, CmpOp::Gt, 3)),
+        )));
+        vec![point, join, noteq, agg, when, Query::base("Missing")]
+    }
+
+    #[test]
+    fn zero_row_statistics_yield_finite_nonnegative_estimates() {
+        let st = Statistics::from_cards([("R".into(), 0.0), ("S".into(), 0.0)]);
+        for q in probe_queries() {
+            let rows = estimate_rows(&q, &st);
+            let cost = estimate_cost(&q, &st);
+            assert!(rows.is_finite() && rows >= 0.0, "rows for {q}: {rows}");
+            assert!(cost.is_finite() && cost >= 0.0, "cost for {q}: {cost}");
+        }
+    }
+
+    #[test]
+    fn missing_relation_statistics_yield_finite_nonnegative_estimates() {
+        let st = Statistics::default();
+        for q in probe_queries() {
+            let rows = estimate_rows(&q, &st);
+            let cost = estimate_cost(&q, &st);
+            assert!(rows.is_finite() && rows >= 0.0, "rows for {q}: {rows}");
+            assert!(cost.is_finite() && cost >= 0.0, "cost for {q}: {cost}");
+        }
+    }
+
+    #[test]
+    fn degenerate_injected_cards_are_sanitized() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -42.0] {
+            let st = Statistics::from_cards([("R".into(), bad), ("S".into(), 10.0)]);
+            assert!(st.card(&"R".into()) >= 0.0 && st.card(&"R".into()).is_finite());
+            for q in probe_queries() {
+                let rows = estimate_rows(&q, &st);
+                let cost = estimate_cost(&q, &st);
+                assert!(rows.is_finite() && rows >= 0.0, "rows for {q}: {rows}");
+                assert!(cost.is_finite() && cost >= 0.0, "cost for {q}: {cost}");
+            }
+        }
+    }
+
+    #[test]
+    fn selectivities_stay_in_unit_interval() {
+        let preds = [
+            Predicate::True.not(),
+            Predicate::col_cmp(0, CmpOp::Ne, 1)
+                .or(Predicate::col_cmp(1, CmpOp::Ne, 2))
+                .not(),
+            Predicate::col_cmp(0, CmpOp::Eq, 1).and(Predicate::col_cmp(1, CmpOp::Eq, 2)),
+        ];
+        let st = Statistics::default().with_distinct("R", 0, 0.0);
+        for p in &preds {
+            let s = selectivity(p);
+            assert!((0.0..=1.0).contains(&s), "{p}: {s}");
+            let s = selectivity_over(p, Some(&"R".into()), &st);
+            assert!((0.0..=1.0).contains(&s), "{p} over R: {s}");
+        }
     }
 }

@@ -160,13 +160,29 @@ impl Session {
 
     fn explain(&self, req: &Request) -> Result<Reply, WireError> {
         let src = req.source();
-        let text = match &self.current {
-            None => self.db.explain(&src),
-            Some(b) => self
+        // `EXPLAIN ANALYZE <hql>` rides on the same verb: a leading
+        // ANALYZE keyword (case-insensitive) switches to instrumented
+        // execution with per-operator rows/elapsed.
+        let (analyze, src) = match src.trim_start().split_once(char::is_whitespace) {
+            Some((kw, rest)) if kw.eq_ignore_ascii_case("ANALYZE") => {
+                (true, rest.trim().to_string())
+            }
+            _ => (false, src),
+        };
+        let text = match (&self.current, analyze) {
+            (None, false) => self.db.explain(&src),
+            (None, true) => self.db.explain_analyze(&src),
+            (Some(b), analyze) => self
                 .db
                 .prepare(&src)
                 .and_then(|q| self.tree.at(b, &q))
-                .and_then(|wrapped| self.db.explain_query(&wrapped)),
+                .and_then(|wrapped| {
+                    if analyze {
+                        self.db.explain_analyze_query(&wrapped)
+                    } else {
+                        self.db.explain_query(&wrapped)
+                    }
+                }),
         }
         .map_err(|e| WireError::from_engine(&e))?;
         Ok(Reply::Text(text))
@@ -617,6 +633,35 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert!(t.contains("when"), "{t}");
+    }
+
+    #[test]
+    fn explain_analyze_shows_operator_metrics() {
+        let mut s = session();
+        let t = match ok(
+            &mut s,
+            "EXPLAIN ANALYZE inv when {delete from inv (inv)}",
+            "",
+        ) {
+            Reply::Text(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(t.contains("physical plan (analyzed):"), "{t}");
+        assert!(t.contains("rows in="), "{t}");
+        assert!(t.contains("time="), "{t}");
+        // Analyze also works on a branch, and the keyword is
+        // case-insensitive.
+        ok(
+            &mut s,
+            "BRANCH b",
+            "delete from inv (select qty > 15 (inv))",
+        );
+        ok(&mut s, "SWITCH b", "");
+        let t = match ok(&mut s, "EXPLAIN analyze inv", "") {
+            Reply::Text(t) => t,
+            other => panic!("{other:?}"),
+        };
+        assert!(t.contains("rows in="), "{t}");
     }
 
     #[test]

@@ -72,11 +72,34 @@ impl Relation {
         arity: usize,
         rows: impl IntoIterator<Item = Tuple>,
     ) -> Result<Self, StorageError> {
-        let mut rel = Relation::empty(arity);
+        let mut tuples = BTreeSet::new();
         for row in rows {
-            rel.insert(row)?;
+            if row.arity() != arity {
+                return Err(StorageError::ArityMismatch {
+                    context: "relation insert",
+                    expected: arity,
+                    found: row.arity(),
+                });
+            }
+            tuples.insert(row);
         }
-        Ok(rel)
+        Ok(Relation::from_set(arity, tuples))
+    }
+
+    /// Wrap an already-built tuple set, checking that every row has
+    /// `arity`. Unlike per-row [`Relation::insert`], this performs no
+    /// membership pre-checks and no copy-on-write bookkeeping — it is the
+    /// bulk constructor for operators that accumulate a result set and
+    /// seal it once.
+    pub fn from_tuple_set(arity: usize, tuples: BTreeSet<Tuple>) -> Result<Self, StorageError> {
+        if let Some(t) = tuples.iter().find(|t| t.arity() != arity) {
+            return Err(StorageError::ArityMismatch {
+                context: "relation from set",
+                expected: arity,
+                found: t.arity(),
+            });
+        }
+        Ok(Relation::from_set(arity, tuples))
     }
 
     /// Build a single-tuple relation (the paper's `{t}`).
